@@ -1,0 +1,56 @@
+"""Ablation: third dataflow style (row stationary) vs the paper's OS/WS.
+
+The paper restricts its study to output- and weight-stationary dataflows
+"given their proven superiority over other accelerator types".  We check
+that premise with an Eyeriss-like row-stationary engine on the same
+perception workload.
+"""
+
+from conftest import save_artifact
+
+from repro.cost import chain_energy_j, chain_latency_s, clear_cache
+from repro.cost.accelerator import (
+    eyeriss_chiplet,
+    nvdla_chiplet,
+    shidiannao_chiplet,
+)
+from repro.sim.metrics import format_table
+from repro.workloads import build_perception_workload
+
+ACCELS = (
+    ("shidiannao-os", shidiannao_chiplet),
+    ("nvdla-ws", nvdla_chiplet),
+    ("eyeriss-rs", eyeriss_chiplet),
+)
+
+
+def _sweep():
+    workload = build_perception_workload()
+    rows = []
+    for name, factory in ACCELS:
+        clear_cache()
+        accel = factory()
+        lat = sum(chain_latency_s(g.layers, accel) * g.instances
+                  for g in workload.all_groups())
+        energy = sum(chain_energy_j(g.layers, accel) * g.instances
+                     for g in workload.all_groups())
+        rows.append({
+            "dataflow": name,
+            "total_latency_ms": round(lat * 1e3, 1),
+            "total_energy_j": round(energy, 3),
+        })
+    clear_cache()
+    return rows
+
+
+def test_ablation_dataflow_styles(benchmark, artifact_dir):
+    rows = benchmark(_sweep)
+    save_artifact(artifact_dir, "ablation_dataflows",
+                  format_table(rows, "Ablation: dataflow styles"))
+    by_name = {r["dataflow"]: r for r in rows}
+    # OS dominates RS in both metrics on this workload mix, supporting
+    # the paper's restriction to the OS/WS pair.
+    assert (by_name["shidiannao-os"]["total_latency_ms"]
+            < by_name["eyeriss-rs"]["total_latency_ms"])
+    assert (by_name["shidiannao-os"]["total_energy_j"]
+            <= by_name["eyeriss-rs"]["total_energy_j"])

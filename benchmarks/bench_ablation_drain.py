@@ -1,0 +1,49 @@
+"""Ablation: the WS reduction-drain calibration knob.
+
+DESIGN.md Sec. 2 documents the cross-PE accumulation drain as the mechanism
+behind the paper's OS-over-WS latency gap.  This ablation sweeps it and
+reports the aggregate speedup, demonstrating the calibration point (10
+cycles -> ~6.9x, the paper's 6.85x).
+"""
+
+import dataclasses
+
+from conftest import save_artifact
+
+from repro.cost import chain_latency_s, clear_cache, simba_chiplet
+from repro.sim.metrics import format_table
+from repro.workloads import build_perception_workload
+
+DRAINS = (0, 4, 8, 10, 16)
+
+
+def _sweep():
+    workload = build_perception_workload()
+    rows = []
+    for drain in DRAINS:
+        clear_cache()
+        os_acc = dataclasses.replace(simba_chiplet("os"),
+                                     reduction_drain_cycles=drain)
+        ws_acc = dataclasses.replace(simba_chiplet("ws"),
+                                     reduction_drain_cycles=drain)
+        lat_os = sum(chain_latency_s(g.layers, os_acc) * g.instances
+                     for g in workload.all_groups())
+        lat_ws = sum(chain_latency_s(g.layers, ws_acc) * g.instances
+                     for g in workload.all_groups())
+        rows.append({
+            "drain_cycles": drain,
+            "os_total_ms": round(lat_os * 1e3, 1),
+            "ws_total_ms": round(lat_ws * 1e3, 1),
+            "ws_over_os": round(lat_ws / lat_os, 2),
+        })
+    clear_cache()
+    return rows
+
+
+def test_ablation_reduction_drain(benchmark, artifact_dir):
+    rows = benchmark(_sweep)
+    save_artifact(artifact_dir, "ablation_drain",
+                  format_table(rows, "Ablation: WS reduction drain"))
+    ratios = {r["drain_cycles"]: r["ws_over_os"] for r in rows}
+    assert ratios[0] < ratios[16]          # drain drives the gap
+    assert 6.0 < ratios[10] < 7.5          # calibrated point, paper 6.85x

@@ -1,0 +1,41 @@
+"""Ablation: free-form trunk sharding vs the paper's whole-model mapping.
+
+The paper maps trunk models whole (Fig. 8).  Allowing the DSE to also
+row-shard and pipeline the trunks shows how much pipe latency that leaves
+on the table — an extension beyond the paper's search space.
+"""
+
+from conftest import save_artifact
+
+from repro.core import TrunkDSE
+from repro.sim.metrics import format_table
+
+
+def _sweep():
+    rows = []
+    for allow, label in ((False, "whole-model (paper)"),
+                         (True, "free sharding (ours)")):
+        for ws in (0, 2):
+            cfg = TrunkDSE(allow_sharding=allow).search(ws)
+            rows.append({
+                "search_space": label,
+                "ws_chiplets": ws,
+                "pipe_ms": round(cfg.pipe_ms, 1),
+                "e2e_ms": round(cfg.e2e_ms, 1),
+                "energy_mj": round(cfg.energy_j * 1e3, 2),
+                "edp_j_ms": round(cfg.edp_j_ms, 2),
+            })
+    return rows
+
+
+def test_ablation_dse_sharding(benchmark, artifact_dir):
+    rows = benchmark(_sweep)
+    save_artifact(artifact_dir, "ablation_dse_sharding",
+                  format_table(rows, "Ablation: trunk DSE search space"))
+    whole = next(r for r in rows
+                 if r["search_space"].startswith("whole") and
+                 r["ws_chiplets"] == 0)
+    free = next(r for r in rows
+                if r["search_space"].startswith("free") and
+                r["ws_chiplets"] == 0)
+    assert free["pipe_ms"] <= whole["pipe_ms"]

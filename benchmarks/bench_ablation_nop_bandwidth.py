@@ -1,0 +1,40 @@
+"""Ablation: NoP link bandwidth sensitivity.
+
+The paper concludes NoP overheads sit far below compute.  We sweep the link
+bandwidth to find where that stops holding — i.e. how much slower the
+interconnect could get before the scheduling conclusions change.
+"""
+
+from conftest import save_artifact
+
+from repro.arch import NoPConfig, simba_package
+from repro.core import match_throughput
+from repro.sim.metrics import format_table
+from repro.workloads import build_perception_workload
+
+BANDWIDTHS_GBPS = (12.5, 25, 50, 100, 200)
+
+
+def _sweep():
+    rows = []
+    for bw in BANDWIDTHS_GBPS:
+        nop = NoPConfig(bandwidth_bytes_per_s=bw * 1e9)
+        schedule = match_throughput(
+            build_perception_workload(), simba_package(nop=nop))
+        rows.append({
+            "nop_gbps": bw,
+            "nop_latency_ms": round(schedule.nop_latency_s * 1e3, 2),
+            "e2e_ms": round(schedule.e2e_latency_s * 1e3, 1),
+            "nop_share_pct": round(
+                100 * schedule.nop_latency_s / schedule.e2e_latency_s, 2),
+        })
+    return rows
+
+
+def test_ablation_nop_bandwidth(benchmark, artifact_dir):
+    rows = benchmark(_sweep)
+    save_artifact(artifact_dir, "ablation_nop_bandwidth",
+                  format_table(rows, "Ablation: NoP bandwidth"))
+    shares = {r["nop_gbps"]: r["nop_share_pct"] for r in rows}
+    assert shares[100] < 3.0     # paper's conclusion at 100 GB/s
+    assert shares[12.5] > shares[200]

@@ -1,0 +1,48 @@
+"""Ablation: workload scaling sweeps (resolution, cameras, frame queue).
+
+Extensions beyond the paper's fixed 8-camera / 720p / 12-frame workload.
+"""
+
+from conftest import save_artifact
+
+from repro.analysis import camera_sweep, frame_queue_sweep, resolution_sweep
+from repro.cost import clear_cache
+from repro.sim.metrics import format_table
+
+
+def test_ablation_resolution(benchmark, artifact_dir):
+    def run():
+        clear_cache()
+        return resolution_sweep()
+
+    rows = benchmark(run)
+    save_artifact(artifact_dir, "ablation_resolution",
+                  format_table(rows, "Ablation: camera resolution"))
+    # Higher resolution -> heavier FE -> larger base pipelining latency.
+    bases = [r["base_ms"] for r in rows]
+    assert all(a <= b + 1e-6 for a, b in zip(bases, bases[1:]))
+
+
+def test_ablation_cameras(benchmark, artifact_dir):
+    def run():
+        clear_cache()
+        return camera_sweep()
+
+    rows = benchmark(run)
+    save_artifact(artifact_dir, "ablation_cameras",
+                  format_table(rows, "Ablation: camera count"))
+    energies = [r["energy_j"] for r in rows]
+    assert all(a < b for a, b in zip(energies, energies[1:]))
+
+
+def test_ablation_frame_queue(benchmark, artifact_dir):
+    def run():
+        clear_cache()
+        return frame_queue_sweep()
+
+    rows = benchmark(run)
+    save_artifact(artifact_dir, "ablation_frame_queue",
+                  format_table(rows, "Ablation: temporal queue depth"))
+    by_frames = {r["t_frames"]: r for r in rows}
+    # Deeper temporal queues grow T_FUSE work (energy strictly up).
+    assert by_frames[24]["energy_j"] > by_frames[6]["energy_j"]

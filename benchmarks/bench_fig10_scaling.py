@@ -1,0 +1,17 @@
+"""Benchmark fig10: Algorithm 1 scaling to two NPUs (paper Fig. 10)."""
+
+from conftest import save_artifact
+
+from repro.cost import clear_cache
+from repro.experiments import fig10
+
+
+def test_fig10_dual_npu_scaling(benchmark, artifact_dir):
+    def run():
+        clear_cache()
+        return fig10.run()
+
+    result = benchmark(run)
+    save_artifact(artifact_dir, "fig10_scaling", fig10.render(result))
+    benchmark.extra_info["speedup"] = result["speedup"]
+    assert 1.7 < result["speedup"] < 2.3  # paper: ~2x

@@ -1,0 +1,18 @@
+"""Benchmark fig11: context-aware lane computing sweep (paper Fig. 11)."""
+
+from conftest import save_artifact
+
+from repro.cost import clear_cache
+from repro.experiments import fig11
+
+
+def test_fig11_context_sweep(benchmark, artifact_dir):
+    def run():
+        clear_cache()
+        return fig11.run()
+
+    result = benchmark(run)
+    save_artifact(artifact_dir, "fig11_context", fig11.render(result))
+    benchmark.extra_info["min_feasible_context_pct"] = \
+        result["min_feasible_context_pct"]
+    assert 50 <= result["min_feasible_context_pct"] <= 75  # paper: ~60%

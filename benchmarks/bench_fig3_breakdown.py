@@ -1,0 +1,18 @@
+"""Benchmark fig3: component breakdown on OS/WS chiplets (paper Fig. 3)."""
+
+from conftest import save_artifact
+
+from repro.cost import clear_cache
+from repro.experiments import fig3
+
+
+def test_fig3_breakdown(benchmark, artifact_dir):
+    def run():
+        clear_cache()  # measure the full analysis, not the memo table
+        return fig3.run()
+
+    result = benchmark(run)
+    save_artifact(artifact_dir, "fig3_breakdown", fig3.render(result))
+    benchmark.extra_info["os_speedup_over_ws"] = \
+        result["os_speedup_over_ws"]
+    assert 5.5 < result["os_speedup_over_ws"] < 8.5  # paper: 6.85x

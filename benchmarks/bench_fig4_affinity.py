@@ -1,0 +1,19 @@
+"""Benchmark fig4: per-layer OS/WS affinity deltas (paper Fig. 4)."""
+
+from conftest import save_artifact
+
+from repro.cost import clear_cache
+from repro.experiments import fig4
+
+
+def test_fig4_affinity(benchmark, artifact_dir):
+    def run():
+        clear_cache()
+        return fig4.run()
+
+    result = benchmark(run)
+    save_artifact(artifact_dir, "fig4_affinity", fig4.render(result))
+    fusion = result["summary"]["S+T Attn Fusion"]
+    benchmark.extra_info["fusion_os_latency_affine_pct"] = \
+        fusion["os_latency_affine_pct"]
+    assert fusion["os_latency_affine_pct"] == 100.0

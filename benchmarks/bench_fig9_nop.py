@@ -1,0 +1,18 @@
+"""Benchmark fig9: NoP data-movement analysis (paper Fig. 9)."""
+
+from conftest import save_artifact
+
+from repro.cost import clear_cache
+from repro.experiments import fig9
+
+
+def test_fig9_nop_costs(benchmark, artifact_dir):
+    def run():
+        clear_cache()
+        return fig9.run()
+
+    result = benchmark(run)
+    save_artifact(artifact_dir, "fig9_nop", fig9.render(result))
+    benchmark.extra_info["compute_to_nop_ratio"] = \
+        result["compute_to_nop_ratio"]
+    assert result["compute_to_nop_ratio"] > 50

@@ -1,0 +1,19 @@
+"""Benchmark platform: DES validation + DRAM budget + hetero end-to-end."""
+
+from conftest import save_artifact
+
+from repro.cost import clear_cache
+from repro.experiments import platform
+
+
+def test_platform_validation(benchmark, artifact_dir):
+    def run():
+        clear_cache()
+        return platform.run()
+
+    result = benchmark(run)
+    save_artifact(artifact_dir, "platform_validation",
+                  platform.render(result))
+    assert result["des"]["prediction_error_pct"] < 2.0
+    assert result["dram"]["sustainable"]
+    assert result["hetero"]["energy_saving_mj"] > 0

@@ -1,0 +1,20 @@
+"""Benchmark table1: heterogeneous trunk DSE (paper Table I)."""
+
+from conftest import save_artifact
+
+from repro.cost import clear_cache
+from repro.experiments import table1
+
+
+def test_table1_heterogeneous_trunks(benchmark, artifact_dir):
+    def run():
+        clear_cache()
+        return table1.run()
+
+    result = benchmark(run)
+    save_artifact(artifact_dir, "table1_hetero", table1.render(result))
+    rows = {r["config"]: r for r in result["rows"]}
+    benchmark.extra_info["het2_d_energy_pct"] = rows["Het(2)"][
+        "d_energy_pct"]
+    assert rows["Het(2)"]["d_energy_pct"] < 0
+    assert not rows["WS"]["feasible"]

@@ -1,0 +1,20 @@
+"""Benchmark table2: chiplet arrangements comparison (paper Table II)."""
+
+from conftest import save_artifact
+
+from repro.cost import clear_cache
+from repro.experiments import table2
+
+
+def test_table2_arrangements(benchmark, artifact_dir):
+    def run():
+        clear_cache()
+        return table2.run()
+
+    result = benchmark(run)
+    save_artifact(artifact_dir, "table2_baselines", table2.render(result))
+    benchmark.extra_info["pipe_reduction_pct"] = \
+        result["pipe_reduction_vs_best_baseline_pct"]
+    benchmark.extra_info["utilization_gain"] = \
+        result["utilization_gain_vs_monolithic"]
+    assert 75 < result["pipe_reduction_vs_best_baseline_pct"] < 92

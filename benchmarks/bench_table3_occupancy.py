@@ -1,0 +1,18 @@
+"""Benchmark table3: occupancy trunk upsampling sweep (paper Table III)."""
+
+from conftest import save_artifact
+
+from repro.cost import clear_cache
+from repro.experiments import table3
+
+
+def test_table3_occupancy_scaling(benchmark, artifact_dir):
+    def run():
+        clear_cache()
+        return table3.run()
+
+    result = benchmark(run)
+    save_artifact(artifact_dir, "table3_occupancy", table3.render(result))
+    ratios = [r["e2e_ratio"] for r in result["rows"]]
+    benchmark.extra_info["e2e_ratios"] = ratios
+    assert 50 < ratios[-1] < 90  # paper: 87.6x from 2x to 16x upsampling

@@ -1,0 +1,19 @@
+"""Benchmark helpers: artifact output directory."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_artifact(directory: pathlib.Path, name: str, text: str) -> None:
+    (directory / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,54 @@
+"""Schedule the full Autopilot perception pipeline and inspect the result.
+
+Reproduces the paper's Figs. 5-8 flow: quadrant allocation, throughput
+matching, the resulting chiplet map, and the NoP traffic report.
+
+Run with::
+
+    python examples/autopilot_scheduling.py
+"""
+
+from repro import build_perception_workload, match_throughput, simba_package
+
+
+def main() -> None:
+    workload = build_perception_workload()
+    package = simba_package()
+    schedule = match_throughput(workload, package, tolerance=1.05)
+
+    print(f"Lat_base (FE+BFPN) = {schedule.base_latency_s * 1e3:.1f} ms\n")
+
+    print("Chiplet mapping (group -> mesh coordinates):")
+    for stage in workload.stages:
+        print(f"  [{stage.name}]")
+        for group in stage.groups:
+            gs = schedule.groups[group.name]
+            if gs.host is not None:
+                print(f"    {group.name:11s} colocated with {gs.host}")
+                continue
+            coords = [package.chiplet(c).coords for c in gs.chiplet_ids]
+            print(f"    {group.name:11s} {gs.plan.mode:9s} "
+                  f"x{gs.plan.n_chiplets:<2d} "
+                  f"pipe={gs.plan.pipe_latency_s * 1e3:6.1f} ms  {coords}")
+
+    print("\nBusiest chiplets:")
+    busy = sorted(schedule.chiplet_busy().items(), key=lambda kv: -kv[1])
+    for cid, t in busy[:5]:
+        c = package.chiplet(cid)
+        print(f"  chiplet {cid:2d} @ {c.coords}  {t * 1e3:6.1f} ms/frame")
+
+    print("\nLargest NoP transfers:")
+    edges = sorted(schedule.nop_edges(), key=lambda e: -e.latency_s)
+    for e in edges[:5]:
+        print(f"  {e.src_group:10s} -> {e.dst_group:10s} "
+              f"{e.payload_bytes / 1e6:7.1f} MB over {e.hops:.1f} hops: "
+              f"{e.latency_s * 1e3:.2f} ms, {e.energy_j * 1e3:.2f} mJ")
+
+    s = schedule.summary()
+    print(f"\npipe {s['pipe_ms']:.1f} ms | e2e {s['e2e_ms']:.1f} ms | "
+          f"{s['energy_j']:.3f} J | util {s['utilization']:.1%} | "
+          f"NoP {s['nop_latency_ms']:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Explore heterogeneous (OS+WS) chiplet integration for the trunk stage.
+
+Reproduces the paper's Sec. IV-C study: brute-force the trunk mapping with
+0, 2, 4, and 9 weight-stationary chiplets in the quadrant, then sweep the
+latency constraint to see when heterogeneity stops paying off.
+
+Run with::
+
+    python examples/heterogeneous_trunks.py
+"""
+
+from repro import TrunkDSE
+from repro.sim import format_table
+
+
+def main() -> None:
+    dse = TrunkDSE()
+    rows = []
+    base = None
+    for cfg in dse.table():
+        if base is None:
+            base = cfg
+        rows.append({
+            "config": cfg.label,
+            "e2e_ms": round(cfg.e2e_ms, 1),
+            "energy_mj": round(cfg.energy_j * 1e3, 2),
+            "edp_j_ms": round(cfg.edp_j_ms, 2),
+            "d_energy_pct": round(
+                (cfg.energy_j / base.energy_j - 1) * 100, 1),
+            "feasible": cfg.feasible,
+            "detection_on": cfg.alloc["DET_TR"][1],
+        })
+    print(format_table(rows, "Heterogeneous trunk integration (Table I)"))
+
+    print("\nLatency-constraint sensitivity for Het(2):")
+    for l_cstr_ms in (70, 85, 94, 120, 200):
+        cfg = TrunkDSE(l_cstr_s=l_cstr_ms / 1e3).search(2)
+        print(f"  L_cstr={l_cstr_ms:4d} ms -> feasible={cfg.feasible}, "
+              f"energy={cfg.energy_j * 1e3:.2f} mJ, "
+              f"DET on {cfg.alloc['DET_TR'][1].upper()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Validate the scheduled platform end to end: DES, floorplan, DRAM.
+
+Cross-checks the analytical schedule three ways:
+
+1. stream frames through a discrete-event simulation and compare the
+   measured throughput against the analytical pipelining latency;
+2. render the chiplet floorplan (the paper's Figs. 5-8 view);
+3. check the package DRAM budget at the camera frame rate.
+
+Run with::
+
+    python examples/platform_validation.py
+"""
+
+from repro import build_perception_workload, match_throughput
+from repro.arch import dram_report
+from repro.sim import stream_validate
+from repro.viz import render_floorplan
+
+
+def main() -> None:
+    workload = build_perception_workload()
+    schedule = match_throughput(workload)
+
+    print(render_floorplan(schedule))
+
+    result = stream_validate(schedule, n_frames=32)
+    print(f"\nDES validation over {len(result.frames)} frames:"
+          f"\n  analytical pipe latency {result.predicted_pipe_s * 1e3:.2f}"
+          f" ms, measured {result.measured_pipe_s * 1e3:.2f} ms "
+          f"(error {result.prediction_error:.2%})"
+          f"\n  first-frame latency {result.first_frame_latency_s * 1e3:.1f}"
+          f" ms"
+          f"\n  sustainable rate {result.sustainable_fps:.1f} FPS "
+          f"(target {result.target_fps:.0f} FPS: "
+          f"{'met' if result.meets_target_fps else 'NOT met — scale NPUs'})")
+
+    dram = dram_report(workload)
+    print(f"\nDRAM budget (LPDDR4 {dram.bandwidth_bytes_per_s / 1e9:.1f}"
+          f" GB/s):"
+          f"\n  weights {dram.weight_bytes / 1e6:.1f} MB/frame + camera "
+          f"input {dram.input_bytes / 1e6:.1f} MB/frame"
+          f"\n  demand {dram.demand_bytes_per_s / 1e9:.2f} GB/s at "
+          f"{dram.fps:.0f} FPS ({dram.bandwidth_utilization:.1%} of budget)"
+          f"\n  DRAM-sustainable frame rate {dram.max_fps:.0f} FPS")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Quickstart: price a layer, build the pipeline, schedule it on an MCM.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    build_perception_workload,
+    evaluate,
+    match_throughput,
+    nvdla_chiplet,
+    shidiannao_chiplet,
+)
+from repro.workloads import conv
+
+
+def main() -> None:
+    # 1. Price a single layer on both chiplet dataflows.
+    layer = conv("demo_conv", (90, 160), 128, 64, r=3)
+    for accel in (shidiannao_chiplet(), nvdla_chiplet()):
+        cost = evaluate(layer, accel)
+        print(f"{accel.name:18s} latency={cost.latency_ms:7.3f} ms "
+              f"energy={cost.energy_j * 1e3:6.3f} mJ "
+              f"util={cost.utilization:5.1%} bound={cost.bound}")
+
+    # 2. Build the full Tesla-Autopilot-style perception workload.
+    workload = build_perception_workload()
+    print(f"\npipeline: {len(workload.all_layers())} layers, "
+          f"{workload.total_macs / 1e9:.0f} GMACs per frame")
+
+    # 3. Schedule it on the 6x6 Simba-like MCM with Algorithm 1.
+    schedule = match_throughput(workload)
+    summary = schedule.summary()
+    print(f"\n36-chiplet schedule:"
+          f"\n  pipe latency  {summary['pipe_ms']:.1f} ms"
+          f"\n  E2E latency   {summary['e2e_ms']:.1f} ms"
+          f"\n  energy        {summary['energy_j']:.3f} J/frame"
+          f"\n  utilization   {summary['utilization']:.1%}")
+
+
+if __name__ == "__main__":
+    main()

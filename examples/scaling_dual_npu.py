@@ -1,0 +1,35 @@
+"""Scale the scheduler to both FSD NPUs (72 chiplets), as in Fig. 10.
+
+Run with::
+
+    python examples/scaling_dual_npu.py
+"""
+
+from repro import build_perception_workload, match_throughput, simba_package
+
+
+def main() -> None:
+    single = match_throughput(build_perception_workload(),
+                              simba_package(npus=1))
+    dual = match_throughput(build_perception_workload(),
+                            simba_package(npus=2))
+
+    print("Dual-NPU sharding trace (paper Fig. 10):")
+    for t in dual.trace:
+        if t.phase == "init":
+            continue
+        print(f"  step {t.step:2d} [{t.phase:6s}] {t.group:10s} -> "
+              f"{t.n_chiplets:2d} chiplets | pipe {t.pipe_latency_ms:6.1f} "
+              f"ms | {t.chiplets_remaining} chiplets remaining")
+
+    s1, s2 = single.summary(), dual.summary()
+    print(f"\n1 NPU (36 chiplets): pipe {s1['pipe_ms']:.1f} ms, "
+          f"e2e {s1['e2e_ms']:.1f} ms")
+    print(f"2 NPUs (72 chiplets): pipe {s2['pipe_ms']:.1f} ms, "
+          f"e2e {s2['e2e_ms']:.1f} ms")
+    print(f"pipelining speedup: {s1['pipe_ms'] / s2['pipe_ms']:.2f}x "
+          f"(paper: ~2x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Reproduction of "Performance Implications of Multi-Chiplet Neural
+Processing Units on Autonomous Driving Perception" (DATE 2025).
+
+Public API tour:
+
+* :mod:`repro.workloads` — layer IR and the Tesla-Autopilot-style
+  perception pipeline builders (:func:`build_perception_workload`).
+* :mod:`repro.cost` — the MAESTRO-like analytical cost model
+  (:func:`evaluate`, accelerator presets).
+* :mod:`repro.arch` — Simba-like MCM package and NoP cost model
+  (:func:`simba_package`).
+* :mod:`repro.core` — the paper's contribution: throughput-matching
+  scheduler (:func:`match_throughput`), trunk DSE (:class:`TrunkDSE`),
+  context-aware lane analysis.
+* :mod:`repro.sim` — baseline engine simulation for Table II.
+* :mod:`repro.experiments` — one driver per paper table/figure.
+"""
+
+from .arch import MCMPackage, NoPConfig, simba_package, transfer_cost
+from .core import (
+    Schedule,
+    ThroughputMatcher,
+    TrunkDSE,
+    lane_context_sweep,
+    match_throughput,
+)
+from .cost import (
+    AcceleratorConfig,
+    EnergyTable,
+    evaluate,
+    monolithic,
+    nvdla_chiplet,
+    shidiannao_chiplet,
+    simba_chiplet,
+)
+from .sim import PerfReport, run_baselines, simulate_engines
+from .workloads import (
+    Layer,
+    LayerGroup,
+    PerceptionWorkload,
+    PipelineConfig,
+    build_perception_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MCMPackage",
+    "NoPConfig",
+    "simba_package",
+    "transfer_cost",
+    "Schedule",
+    "ThroughputMatcher",
+    "TrunkDSE",
+    "lane_context_sweep",
+    "match_throughput",
+    "AcceleratorConfig",
+    "EnergyTable",
+    "evaluate",
+    "monolithic",
+    "nvdla_chiplet",
+    "shidiannao_chiplet",
+    "simba_chiplet",
+    "PerfReport",
+    "run_baselines",
+    "simulate_engines",
+    "Layer",
+    "LayerGroup",
+    "PerceptionWorkload",
+    "PipelineConfig",
+    "build_perception_workload",
+    "__version__",
+]

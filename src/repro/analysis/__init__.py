@@ -1,0 +1,23 @@
+"""Workload/dataflow analyses backing the paper's Sec. III figures."""
+
+from .affinity import FIG4_BLOCKS, LayerAffinity, affinity_blocks, \
+    layer_affinity
+from .breakdown import ComponentCost, component_breakdown, \
+    fusion_latency_share
+from .layer_table import layer_cost_table, to_csv
+from .scaling import camera_sweep, frame_queue_sweep, resolution_sweep
+
+__all__ = [
+    "layer_cost_table",
+    "to_csv",
+    "camera_sweep",
+    "frame_queue_sweep",
+    "resolution_sweep",
+    "FIG4_BLOCKS",
+    "LayerAffinity",
+    "affinity_blocks",
+    "layer_affinity",
+    "ComponentCost",
+    "component_breakdown",
+    "fusion_latency_share",
+]

@@ -1,0 +1,82 @@
+"""Fine-grained per-layer dataflow affinity analysis (paper Fig. 4).
+
+For every layer we compute ``delta = value_OS - value_WS`` for latency and
+energy; negative deltas mean ShiDianNao-like (output-stationary) affinity,
+positive deltas NVDLA-like (weight-stationary) affinity — the paper's sign
+convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cost import AcceleratorConfig, evaluate, nvdla_chiplet, \
+    shidiannao_chiplet
+from ..workloads.graph import PerceptionWorkload
+from ..workloads.layers import Layer
+
+#: Fig. 4 panels: (panel label, stage names included)
+FIG4_BLOCKS = (
+    ("FE+BFPN", ("FE_BFPN",)),
+    ("S+T Attn Fusion", ("S_FUSE", "T_FUSE")),
+    ("Trunks", ("TRUNKS",)),
+)
+
+
+@dataclass(frozen=True)
+class LayerAffinity:
+    """OS-vs-WS deltas for one layer."""
+
+    layer: str
+    group: str
+    lat_os_ms: float
+    lat_ws_ms: float
+    energy_os_mj: float
+    energy_ws_mj: float
+
+    @property
+    def delta_latency_ms(self) -> float:
+        """Negative: OS-affine; positive: WS-affine (paper convention)."""
+        return self.lat_os_ms - self.lat_ws_ms
+
+    @property
+    def delta_energy_mj(self) -> float:
+        return self.energy_os_mj - self.energy_ws_mj
+
+
+def layer_affinity(layer: Layer, group: str,
+                   os_accel: AcceleratorConfig,
+                   ws_accel: AcceleratorConfig) -> LayerAffinity:
+    cost_os = evaluate(layer, os_accel)
+    cost_ws = evaluate(layer, ws_accel)
+    return LayerAffinity(
+        layer=layer.name,
+        group=group,
+        lat_os_ms=cost_os.latency_s * 1e3,
+        lat_ws_ms=cost_ws.latency_s * 1e3,
+        energy_os_mj=cost_os.energy_j * 1e3,
+        energy_ws_mj=cost_ws.energy_j * 1e3,
+    )
+
+
+def affinity_blocks(workload: PerceptionWorkload,
+                    os_accel: AcceleratorConfig | None = None,
+                    ws_accel: AcceleratorConfig | None = None,
+                    compute_only: bool = True
+                    ) -> dict[str, list[LayerAffinity]]:
+    """Per-layer affinities grouped into the paper's three Fig. 4 panels."""
+    os_accel = os_accel or shidiannao_chiplet()
+    ws_accel = ws_accel or nvdla_chiplet()
+    panels: dict[str, list[LayerAffinity]] = {}
+    for label, stage_names in FIG4_BLOCKS:
+        rows: list[LayerAffinity] = []
+        for stage_name in stage_names:
+            stage = workload.stage(stage_name)
+            for group in stage.groups:
+                for layer in group.layers:
+                    if compute_only and not layer.kind.is_compute:
+                        continue
+                    rows.append(layer_affinity(layer, group.name,
+                                               os_accel, ws_accel))
+        panels[label] = rows
+    return panels

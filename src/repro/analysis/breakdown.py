@@ -1,0 +1,72 @@
+"""Coarse-grained component breakdown (paper Fig. 3, Sec. III-A).
+
+Prices every perception component on a single 256-PE chiplet per dataflow,
+mirroring the paper's latency/energy breakdown bars.  FE+BFPN is reported
+per camera (the paper's Fig. 3 note: "evaluations for the FE+BFPN ... are
+for a single camera and to be multiplied by the 8 cameras").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cost import AcceleratorConfig, chain_energy_j, chain_latency_s
+from ..workloads.graph import PerceptionWorkload
+
+#: component label -> (group names, count instances?)
+_COMPONENTS = (
+    ("FE+BFPN", ("FE_BFPN",), False),
+    ("S_QKV", ("S_Q_PROJ", "S_KV_PROJ"), True),
+    ("S_ATTN", ("S_ATTN",), True),
+    ("S_FFN", ("S_FFN",), True),
+    ("T_QKV", ("T_Q_PROJ", "T_KV_PROJ"), True),
+    ("T_ATTN", ("T_ATTN",), True),
+    ("T_FFN", ("T_FFN",), True),
+    ("OCC_TR", ("OCC_TR",), True),
+    ("LANE_TR", ("LANE_TR",), True),
+    ("DET_TR", ("DET_TR",), True),
+)
+
+
+@dataclass(frozen=True)
+class ComponentCost:
+    """Latency/energy of one perception component on one chiplet."""
+
+    component: str
+    latency_ms: float
+    energy_mj: float
+    latency_share: float
+    energy_share: float
+
+
+def component_breakdown(workload: PerceptionWorkload,
+                        accel: AcceleratorConfig) -> list[ComponentCost]:
+    """Per-component single-chiplet costs for one dataflow."""
+    raw = []
+    for label, names, with_instances in _COMPONENTS:
+        lat = 0.0
+        energy = 0.0
+        for name in names:
+            group = workload.find_group(name)
+            mult = group.instances if with_instances else 1
+            lat += chain_latency_s(group.layers, accel) * mult
+            energy += chain_energy_j(group.layers, accel) * mult
+        raw.append((label, lat, energy))
+    total_lat = sum(l for _, l, _ in raw)
+    total_energy = sum(e for _, _, e in raw)
+    return [
+        ComponentCost(label, lat * 1e3, energy * 1e3,
+                      lat / total_lat, energy / total_energy)
+        for label, lat, energy in raw
+    ]
+
+
+def fusion_latency_share(breakdown: list[ComponentCost]) -> dict[str, float]:
+    """S_FUSE and T_FUSE latency shares (paper: 25-28% and 52-54%)."""
+    share = {"S_FUSE": 0.0, "T_FUSE": 0.0}
+    for row in breakdown:
+        if row.component.startswith("S_"):
+            share["S_FUSE"] += row.latency_share
+        elif row.component.startswith("T_"):
+            share["T_FUSE"] += row.latency_share
+    return share

@@ -1,0 +1,52 @@
+"""Per-layer cost tables: the raw data behind every figure.
+
+Researchers extending the study usually want the full layer-by-layer cost
+dump rather than the aggregated views; this produces it for any
+accelerator, as plain dictionaries (JSON/CSV-friendly).
+"""
+
+from __future__ import annotations
+
+from ..cost import AcceleratorConfig, evaluate
+from ..workloads.graph import PerceptionWorkload
+
+
+def layer_cost_table(workload: PerceptionWorkload,
+                     accel: AcceleratorConfig,
+                     compute_only: bool = False) -> list[dict]:
+    """One row per layer: dims, MACs, latency, energy, utilization."""
+    rows: list[dict] = []
+    for stage in workload.stages:
+        for group in stage.groups:
+            for layer in group.layers:
+                if compute_only and not layer.kind.is_compute:
+                    continue
+                cost = evaluate(layer, accel)
+                rows.append({
+                    "stage": stage.name,
+                    "group": group.name,
+                    "layer": layer.name,
+                    "kind": layer.kind.value,
+                    "plane": f"{layer.out_h}x{layer.out_w}",
+                    "k": layer.k,
+                    "c": layer.c,
+                    "instances": group.instances,
+                    "macs": layer.macs,
+                    "latency_ms": round(cost.latency_s * 1e3, 4),
+                    "energy_mj": round(cost.energy_j * 1e3, 4),
+                    "utilization": round(cost.utilization, 4),
+                    "engagement": round(cost.engagement, 4),
+                    "bound": cost.bound,
+                })
+    return rows
+
+
+def to_csv(rows: list[dict]) -> str:
+    """Render a layer cost table as CSV text."""
+    if not rows:
+        return ""
+    headers = list(rows[0].keys())
+    lines = [",".join(headers)]
+    for row in rows:
+        lines.append(",".join(str(row[h]) for h in headers))
+    return "\n".join(lines)

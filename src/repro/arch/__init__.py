@@ -1,0 +1,29 @@
+"""Multi-chiplet module architecture model (chiplets, mesh, NoP, DRAM)."""
+
+from .chiplet import Chiplet
+from .dram import (
+    FSD_LPDDR4_BYTES_PER_S,
+    DramBudget,
+    DramReport,
+    camera_input_bytes,
+    dram_report,
+    weight_stream_bytes,
+)
+from .nop import NOP_28NM, NoPConfig, NoPTransfer, transfer_cost
+from .package import MCMPackage, simba_package
+
+__all__ = [
+    "Chiplet",
+    "FSD_LPDDR4_BYTES_PER_S",
+    "DramBudget",
+    "DramReport",
+    "camera_input_bytes",
+    "dram_report",
+    "weight_stream_bytes",
+    "NOP_28NM",
+    "NoPConfig",
+    "NoPTransfer",
+    "transfer_cost",
+    "MCMPackage",
+    "simba_package",
+]

@@ -1,0 +1,38 @@
+"""A single accelerator chiplet instance on the package mesh."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..cost import AcceleratorConfig
+
+
+@dataclass(frozen=True)
+class Chiplet:
+    """One accelerator chiplet with a mesh position.
+
+    ``quadrant`` identifies the 3x3 block of the 6x6 Simba-like package the
+    chiplet belongs to; the paper's scheduler allocates one perception stage
+    per quadrant (Sec. IV).
+    """
+
+    chiplet_id: int
+    x: int
+    y: int
+    accel: AcceleratorConfig
+    quadrant: int
+
+    @property
+    def coords(self) -> tuple[int, int]:
+        return (self.x, self.y)
+
+    @property
+    def dataflow(self) -> str:
+        return self.accel.dataflow
+
+    def hops_to(self, other: "Chiplet") -> int:
+        """Manhattan (XY-routed) hop distance to another chiplet."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def with_accel(self, accel: AcceleratorConfig) -> "Chiplet":
+        return replace(self, accel=accel)

@@ -1,0 +1,111 @@
+"""Package-level DRAM traffic and bandwidth accounting.
+
+The FSD platform feeds its NPUs from LPDDR4 (~63.5 GB/s in the Tesla FSD,
+Sec. II-A).  Per frame, the package must stream:
+
+* the camera inputs (8 x 720p x fp16 words),
+* every true filter weight that does not persist in chiplet global
+  buffers (activation-producing "weights" of attention matmuls never
+  touch DRAM — they are produced on package).
+
+This module aggregates that traffic for a workload, checks it against a
+DRAM budget at the target frame rate, and prices its energy.  It closes a
+loop the paper leaves implicit: the MCM's aggregate on-package bandwidth
+only helps if DRAM does not become the new bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workloads.graph import PerceptionWorkload
+from ..workloads.layers import BYTES_PER_WORD
+from ..workloads.pipeline import PipelineConfig
+
+#: LPDDR4 on the Tesla FSD (GB/s).
+FSD_LPDDR4_BYTES_PER_S = 63.5e9
+
+
+@dataclass(frozen=True)
+class DramBudget:
+    """DRAM interface parameters for the package."""
+
+    bandwidth_bytes_per_s: float = FSD_LPDDR4_BYTES_PER_S
+    energy_pj_per_word: float = 160.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("DRAM bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class DramReport:
+    """Per-frame DRAM traffic of a workload against a budget."""
+
+    weight_bytes: int
+    input_bytes: int
+    fps: float
+    bandwidth_bytes_per_s: float
+    energy_j: float
+
+    @property
+    def total_bytes(self) -> int:
+        return self.weight_bytes + self.input_bytes
+
+    @property
+    def demand_bytes_per_s(self) -> float:
+        return self.total_bytes * self.fps
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        return self.demand_bytes_per_s / self.bandwidth_bytes_per_s
+
+    @property
+    def sustainable(self) -> bool:
+        return self.bandwidth_utilization <= 1.0
+
+    @property
+    def max_fps(self) -> float:
+        return self.bandwidth_bytes_per_s / self.total_bytes
+
+
+def camera_input_bytes(config: PipelineConfig | None = None) -> int:
+    """Raw sensor bytes per frame (all cameras, fp16 RGB)."""
+    config = config or PipelineConfig()
+    h, w = config.input_hw
+    return config.cameras * 3 * h * w * BYTES_PER_WORD
+
+
+def weight_stream_bytes(workload: PerceptionWorkload) -> int:
+    """True filter weights streamed per frame (activations excluded).
+
+    Weights are fetched once per layer per frame; replicated instances
+    share the fetch only when they run on the same chiplet, so we count
+    the conservative one-fetch-per-instance figure.
+    """
+    total_words = 0
+    for group in workload.all_groups():
+        for layer in group.layers:
+            if layer.kind.is_compute and not layer.weights_are_activations:
+                total_words += layer.weight_words * group.instances
+    return total_words * BYTES_PER_WORD
+
+
+def dram_report(workload: PerceptionWorkload,
+                config: PipelineConfig | None = None,
+                budget: DramBudget | None = None,
+                fps: float | None = None) -> DramReport:
+    """Aggregate DRAM demand for the workload at a frame rate."""
+    config = config or PipelineConfig()
+    budget = budget or DramBudget()
+    fps = fps if fps is not None else config.fps
+    weights = weight_stream_bytes(workload)
+    inputs = camera_input_bytes(config)
+    words = (weights + inputs) / BYTES_PER_WORD
+    return DramReport(
+        weight_bytes=weights,
+        input_bytes=inputs,
+        fps=fps,
+        bandwidth_bytes_per_s=budget.bandwidth_bytes_per_s,
+        energy_j=words * budget.energy_pj_per_word * 1e-12,
+    )

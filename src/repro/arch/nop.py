@@ -1,0 +1,62 @@
+"""Network-on-Package cost model (paper Sec. IV-D).
+
+The paper models NoP data movement with three microarchitecture parameters
+taken from Simba scaled to 28 nm:
+
+* interconnect bandwidth: 100 GB/s per chiplet link,
+* per-hop latency: 35 ns,
+* transmission energy: 2.04 pJ/bit.
+
+Transmission latency is the feature-map serialization time multiplied by the
+hop count (store-and-forward, the paper's stated formula) plus the per-hop
+router latency; energy is ``bits * pJ/bit * hops``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NoPConfig:
+    """NoP link parameters."""
+
+    bandwidth_bytes_per_s: float = 100.0e9
+    hop_latency_s: float = 35.0e-9
+    energy_pj_per_bit: float = 2.04
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("NoP bandwidth must be positive")
+        if self.hop_latency_s < 0 or self.energy_pj_per_bit < 0:
+            raise ValueError("NoP latency/energy must be non-negative")
+
+
+@dataclass(frozen=True)
+class NoPTransfer:
+    """Cost of moving one tensor between two chiplets."""
+
+    payload_bytes: int
+    hops: int
+    latency_s: float
+    energy_j: float
+
+
+#: Default NoP parameters (Simba scaled to 28 nm, Sec. IV-D).
+NOP_28NM = NoPConfig()
+
+
+def transfer_cost(payload_bytes: int, hops: int,
+                  config: NoPConfig = NOP_28NM) -> NoPTransfer:
+    """Price a point-to-point transfer of ``payload_bytes`` over ``hops``.
+
+    Zero hops (producer and consumer co-located) cost nothing.
+    """
+    if payload_bytes < 0 or hops < 0:
+        raise ValueError("payload and hops must be non-negative")
+    if hops == 0 or payload_bytes == 0:
+        return NoPTransfer(payload_bytes, hops, 0.0, 0.0)
+    serialization = payload_bytes / config.bandwidth_bytes_per_s
+    latency = hops * (serialization + config.hop_latency_s)
+    energy = payload_bytes * 8 * config.energy_pj_per_bit * 1e-12 * hops
+    return NoPTransfer(payload_bytes, hops, latency, energy)

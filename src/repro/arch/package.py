@@ -1,0 +1,130 @@
+"""Multi-chiplet module (MCM) package model.
+
+A :class:`MCMPackage` is a rectangular mesh of accelerator chiplets joined by
+a Network-on-Package.  The canonical instance is the Simba-like 6x6 package
+of 256-PE chiplets (9,216 PEs total, matching the Tesla NPU budget the paper
+uses); a dual-NPU platform composes two of them (Sec. V-B).
+
+Quadrants are 3x3 chiplet blocks; the paper's scheduler assigns one
+perception stage per quadrant, so the package exposes quadrant membership
+and per-stage chiplet budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cost import AcceleratorConfig, simba_chiplet
+from .chiplet import Chiplet
+from .nop import NOP_28NM, NoPConfig
+
+
+@dataclass
+class MCMPackage:
+    """A mesh of chiplets plus NoP parameters."""
+
+    name: str
+    mesh_w: int
+    mesh_h: int
+    chiplets: list[Chiplet]
+    nop: NoPConfig = NOP_28NM
+    #: number of 6x6 NPU modules composed into this package
+    npus: int = 1
+
+    def __post_init__(self) -> None:
+        if len(self.chiplets) != self.mesh_w * self.mesh_h:
+            raise ValueError(
+                f"{self.name}: {len(self.chiplets)} chiplets do not fill a "
+                f"{self.mesh_w}x{self.mesh_h} mesh")
+        ids = {c.chiplet_id for c in self.chiplets}
+        if ids != set(range(len(self.chiplets))):
+            raise ValueError(f"{self.name}: chiplet ids must be 0..N-1")
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.chiplets)
+
+    def chiplet(self, chiplet_id: int) -> Chiplet:
+        return self.chiplets[chiplet_id]
+
+    def at(self, x: int, y: int) -> Chiplet:
+        for c in self.chiplets:
+            if c.x == x and c.y == y:
+                return c
+        raise KeyError(f"no chiplet at ({x}, {y})")
+
+    @property
+    def total_pes(self) -> int:
+        return sum(c.accel.pe_count for c in self.chiplets)
+
+    @property
+    def quadrant_count(self) -> int:
+        return max(c.quadrant for c in self.chiplets) + 1
+
+    def quadrant(self, q: int) -> list[Chiplet]:
+        members = [c for c in self.chiplets if c.quadrant == q]
+        if not members:
+            raise KeyError(f"no quadrant {q} in {self.name}")
+        return members
+
+    def quadrant_capacity(self, q: int) -> int:
+        return len(self.quadrant(q))
+
+    def hops(self, a: int, b: int) -> int:
+        """XY-routed hop count between two chiplet ids."""
+        return self.chiplet(a).hops_to(self.chiplet(b))
+
+    def with_dataflow_at(self, coords: list[tuple[int, int]],
+                         accel: AcceleratorConfig) -> "MCMPackage":
+        """Return a copy with the chiplets at ``coords`` replaced.
+
+        Used for heterogeneous integration (Sec. IV-C): Het(2)/Het(4)
+        embed 2 or 4 weight-stationary chiplets in the trunk quadrant.
+        """
+        targets = set(coords)
+        new = []
+        for c in self.chiplets:
+            if c.coords in targets:
+                new.append(c.with_accel(accel))
+                targets.discard(c.coords)
+            else:
+                new.append(c)
+        if targets:
+            raise KeyError(f"coords not on mesh: {sorted(targets)}")
+        return MCMPackage(self.name + "+het", self.mesh_w, self.mesh_h,
+                          new, self.nop, self.npus)
+
+
+def _quadrant_of(x: int, y: int) -> int:
+    """Quadrant index for a 6x6 NPU tile: 3x3 blocks, row-major.
+
+    For packages composed of several 6x6 NPUs side by side, quadrants
+    continue counting across modules (module m contributes quadrants
+    4m..4m+3).
+    """
+    module = x // 6
+    lx = x % 6
+    return 4 * module + (y // 3) * 2 + (lx // 3)
+
+
+def simba_package(dataflow: str = "os", npus: int = 1,
+                  accel: AcceleratorConfig | None = None,
+                  nop: NoPConfig = NOP_28NM) -> MCMPackage:
+    """Build one or more Simba-like 6x6 MCM NPUs as a single mesh.
+
+    ``npus=2`` models the paper's Sec. V-B platform with both FSD NPUs
+    active (72 chiplets, 18,432 PEs) as a 12x6 mesh.
+    """
+    if npus < 1:
+        raise ValueError("npus must be >= 1")
+    base = accel or simba_chiplet(dataflow)
+    mesh_w, mesh_h = 6 * npus, 6
+    chiplets = []
+    cid = 0
+    for y in range(mesh_h):
+        for x in range(mesh_w):
+            chiplets.append(Chiplet(cid, x, y, base, _quadrant_of(x, y)))
+            cid += 1
+    return MCMPackage(f"simba-{mesh_w}x{mesh_h}-{dataflow}",
+                      mesh_w, mesh_h, chiplets, nop, npus)

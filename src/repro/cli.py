@@ -1,0 +1,62 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Examples::
+
+    chiplet-npu table2          # Table II comparison
+    chiplet-npu fig10           # dual-NPU scaling trace
+    chiplet-npu all             # every experiment
+    python -m repro.cli fig3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="chiplet-npu",
+        description="Reproduce the multi-chiplet NPU perception study "
+                    "(DATE 2025).")
+    parser.add_argument(
+        "experiment",
+        choices=sorted(ALL_EXPERIMENTS) + ["all", "report"],
+        help="paper artifact to regenerate ('report' writes a full "
+             "markdown reproduction report)")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit structured JSON instead of tables")
+    parser.add_argument(
+        "--output", default=None,
+        help="file to write ('report' defaults to results/REPORT.md)")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "report":
+        from .io import generate_report
+        out = args.output or "results/REPORT.md"
+        sys.stdout.write(f"writing {out}\n")
+        import pathlib
+        pathlib.Path(out).parent.mkdir(parents=True, exist_ok=True)
+        generate_report(out)
+        return 0
+
+    names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        module = ALL_EXPERIMENTS[name]
+        result = module.run()
+        if args.json:
+            print(json.dumps({name: result}, indent=2, default=str))
+        else:
+            print(f"=== {name} ===")
+            print(module.render(result))
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

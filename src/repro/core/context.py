@@ -1,0 +1,54 @@
+"""Context-aware computing analysis for the lane trunk (paper Fig. 11).
+
+Tesla's lane prediction only processes relevant grid regions (the paper's
+Sec. V-C).  This module sweeps the retained-context fraction and prices the
+lane trunk on one chiplet, reporting latency, energy, and whether the
+pipelining-latency constraint is met — the paper finds ~60% context keeps
+the trunk under the 82 ms threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cost import AcceleratorConfig, chain_energy_j, chain_latency_s, \
+    shidiannao_chiplet
+from ..workloads.trunks import build_lane_layers
+
+#: the paper's Fig. 11 sweep points (% context retained)
+DEFAULT_FRACTIONS = (1.0, 0.9, 0.75, 0.6, 0.5, 0.4, 0.25, 0.1)
+
+
+@dataclass(frozen=True)
+class LaneContextPoint:
+    """Lane trunk cost at one retained-context fraction."""
+
+    fraction: float
+    latency_ms: float
+    energy_j: float
+    meets_constraint: bool
+
+
+def lane_context_sweep(fractions=DEFAULT_FRACTIONS,
+                       accel: AcceleratorConfig | None = None,
+                       threshold_s: float = 0.0937,
+                       **lane_kwargs) -> list[LaneContextPoint]:
+    """Price the lane trunk across context fractions on one chiplet."""
+    accel = accel or shidiannao_chiplet()
+    points = []
+    for f in fractions:
+        layers = build_lane_layers(context_fraction=f, **lane_kwargs)
+        lat = chain_latency_s(layers, accel)
+        points.append(LaneContextPoint(
+            fraction=f,
+            latency_ms=lat * 1e3,
+            energy_j=chain_energy_j(layers, accel),
+            meets_constraint=lat <= threshold_s,
+        ))
+    return points
+
+
+def min_feasible_fraction(points: list[LaneContextPoint]) -> float:
+    """Largest retained fraction meeting the constraint (0 if none)."""
+    feasible = [p.fraction for p in points if p.meets_constraint]
+    return max(feasible) if feasible else 0.0

@@ -1,0 +1,98 @@
+"""End-to-end heterogeneous scheduling: Algorithm 1 + trunk DSE combined.
+
+The paper evaluates heterogeneous integration only inside the trunk
+quadrant (Table I).  This module composes the full flow a deployment would
+use: run throughput matching for the first three stages on the
+output-stationary package, run the trunk DSE to pick the heterogeneous
+trunk mapping under the resulting latency constraint, then emit a single
+package + schedule view with the WS chiplets physically placed in the
+trunk quadrant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch import MCMPackage, simba_package
+from ..cost import nvdla_chiplet
+from ..workloads.graph import PerceptionWorkload
+from ..workloads.pipeline import build_perception_workload
+from .dse import TrunkConfig, TrunkDSE
+from .schedule import Schedule
+from .throughput import ThroughputMatcher
+
+
+@dataclass(frozen=True)
+class HeterogeneousResult:
+    """Joint result of the matcher and the heterogeneous trunk DSE."""
+
+    schedule: Schedule
+    trunk_config: TrunkConfig
+    package: MCMPackage
+
+    @property
+    def pipe_latency_s(self) -> float:
+        """Pipeline latency including the DSE-mapped trunks."""
+        return max(self.schedule.pipe_latency_s,
+                   self.trunk_config.pipe_ms / 1e3)
+
+    @property
+    def energy_j(self) -> float:
+        """Per-frame energy with the heterogeneous trunk mapping.
+
+        The matcher's trunk energy is replaced by the DSE's.
+        """
+        trunk_energy = sum(
+            self.schedule.groups[g.name].plan.energy_j
+            for g in self.schedule.workload.stage("TRUNKS").groups)
+        return (self.schedule.energy_j - trunk_energy
+                + self.trunk_config.energy_j)
+
+    @property
+    def energy_saving_j(self) -> float:
+        return self.schedule.energy_j - self.energy_j
+
+
+def _ws_coords(package: MCMPackage, trunk_quadrants: tuple[int, ...],
+               count: int) -> list[tuple[int, int]]:
+    """Deterministic WS chiplet positions inside the trunk quadrant(s)."""
+    cells = [c for q in trunk_quadrants for c in package.quadrant(q)]
+    # Prefer the quadrant corner farthest from the fusion stages so OS
+    # chiplets keep the low-hop paths to their producers.
+    cells.sort(key=lambda c: (-(c.x + c.y), c.chiplet_id))
+    return [c.coords for c in cells[:count]]
+
+
+def schedule_heterogeneous(
+        workload: PerceptionWorkload | None = None,
+        ws_chiplets: int = 2,
+        tolerance: float = 1.05,
+        npus: int = 1) -> HeterogeneousResult:
+    """Full heterogeneous flow: match stages 1-3, DSE the trunks.
+
+    ``ws_chiplets`` selects the Het(k) configuration (0 gives the OS-only
+    package; the paper studies k in {2, 4}).
+    """
+    workload = workload or build_perception_workload()
+    base_package = simba_package(npus=npus)
+    matcher = ThroughputMatcher(workload, base_package, tolerance)
+    schedule = matcher.run()
+
+    trunk_stage = workload.stage("TRUNKS")
+    l_cstr = tolerance * schedule.base_latency_s
+    dse = TrunkDSE(stage=trunk_stage, l_cstr_s=l_cstr,
+                   chiplets=sum(base_package.quadrant_capacity(q)
+                                for q in schedule.stage_quadrants["TRUNKS"]))
+    trunk_config = dse.search(ws_chiplets)
+
+    package = base_package
+    if ws_chiplets > 0:
+        coords = _ws_coords(base_package,
+                            schedule.stage_quadrants["TRUNKS"],
+                            ws_chiplets)
+        package = base_package.with_dataflow_at(coords, nvdla_chiplet())
+    return HeterogeneousResult(
+        schedule=schedule,
+        trunk_config=trunk_config,
+        package=package,
+    )

@@ -1,0 +1,80 @@
+"""NoP-aware placement of scheduled groups onto mesh coordinates.
+
+The paper observes (Sec. IV-D) that large feature-map producers must sit
+close to their consumers to bound NoP overheads.  We use a deterministic
+greedy placement: stages own their quadrants; groups are placed in
+dependency order, and each chiplet is chosen to minimize hop distance to
+the group's already-placed producers (falling back to the previous stage's
+chiplets for stage-entry groups), with a mild contiguity bonus so sharded
+groups stay clustered.
+"""
+
+from __future__ import annotations
+
+from ..arch import MCMPackage
+from ..workloads.graph import PerceptionWorkload
+
+
+def default_stage_quadrants(workload: PerceptionWorkload,
+                            package: MCMPackage) -> dict[str, tuple[int, ...]]:
+    """Uniform stage-to-quadrant partition (Sec. IV: one stage per quadrant).
+
+    With multiple NPU modules on the package, each stage receives its
+    quadrant in every module (the paper's Sec. V-B doubles every stage's
+    chiplet budget, including the trunks).
+    """
+    n_stages = len(workload.stages)
+    quadrants_per_module = 4
+    if n_stages > quadrants_per_module:
+        raise ValueError("more stages than quadrants per module")
+    mapping: dict[str, tuple[int, ...]] = {}
+    for i, stage in enumerate(workload.stages):
+        mapping[stage.name] = tuple(
+            i + quadrants_per_module * m for m in range(package.npus))
+    return mapping
+
+
+def place(workload: PerceptionWorkload,
+          package: MCMPackage,
+          alloc: dict[str, int],
+          stage_quadrants: dict[str, tuple[int, ...]],
+          colocated: dict[str, str]) -> dict[str, tuple[int, ...]]:
+    """Assign ``alloc[group]`` chiplet ids to every non-colocated group."""
+    assignment: dict[str, tuple[int, ...]] = {}
+    prev_stage_ids: list[int] = []
+    for stage in workload.stages:
+        cells = [c.chiplet_id
+                 for q in stage_quadrants[stage.name]
+                 for c in package.quadrant(q)]
+        free = sorted(cells)
+        placed_this_stage: list[int] = []
+        for group in stage.topo_order():
+            if group.name in colocated:
+                continue
+            n = alloc.get(group.name, 0)
+            if n <= 0:
+                raise ValueError(f"group {group.name} has no chiplets")
+            if n > len(free):
+                raise ValueError(
+                    f"stage {stage.name}: not enough chiplets for "
+                    f"{group.name} (need {n}, have {len(free)})")
+            anchors = [cid for dep in group.depends_on
+                       for cid in assignment.get(dep, ())]
+            if not anchors:
+                anchors = prev_stage_ids
+            chosen: list[int] = []
+            for _ in range(n):
+                def score(cid: int) -> tuple[float, int]:
+                    to_anchor = (min(package.hops(cid, a) for a in anchors)
+                                 if anchors else 0.0)
+                    to_peers = (min(package.hops(cid, p) for p in chosen)
+                                if chosen else 0.0)
+                    return (to_anchor + 0.5 * to_peers, cid)
+
+                best = min(free, key=score)
+                free.remove(best)
+                chosen.append(best)
+            assignment[group.name] = tuple(chosen)
+            placed_this_stage.extend(chosen)
+        prev_stage_ids = placed_this_stage
+    return assignment

@@ -1,0 +1,269 @@
+"""Schedule representation and end-to-end performance accounting.
+
+A :class:`Schedule` binds every layer group of the perception workload to a
+set of chiplets (via a :class:`~repro.core.sharding.GroupPlan`) and prices
+the result:
+
+* **pipe latency** — steady-state pipelining latency: the busiest chiplet's
+  per-frame busy time (the paper's "Pipe Lat").
+* **E2E latency** — one frame's traversal of the whole pipeline: the sum of
+  per-stage critical paths plus NoP transfer latencies (the paper's
+  "E2E Lat").
+* **energy / EDP** — compute + NoP energy per frame; EDP uses pipe latency
+  (this matches the paper's Figs. 5-8 and the 36x256 row of Table II; see
+  EXPERIMENTS.md for the one column where the paper's EDP arithmetic is
+  not self-consistent).
+* **utilization** — useful MACs over all package PE-cycles inside one pipe
+  window (steady state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch import MCMPackage, NoPTransfer, transfer_cost
+from ..workloads.graph import LayerGroup, PerceptionWorkload
+from .sharding import GroupPlan
+
+
+@dataclass(frozen=True)
+class GroupSchedule:
+    """A planned group bound to physical chiplets."""
+
+    plan: GroupPlan
+    chiplet_ids: tuple[int, ...]
+    #: when set, this tiny group is colocated on the named group's chiplet
+    host: str | None = None
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One decision of the throughput-matching algorithm (for Fig. 10)."""
+
+    step: int
+    phase: str
+    action: str
+    group: str
+    n_chiplets: int
+    pipe_latency_ms: float
+    chiplets_remaining: int
+
+
+@dataclass(frozen=True)
+class NoPEdge:
+    """Aggregate NoP traffic between two groups (or inside one pipeline)."""
+
+    src_group: str
+    dst_group: str
+    payload_bytes: int
+    hops: float
+    latency_s: float
+    energy_j: float
+
+
+@dataclass
+class Schedule:
+    """A complete mapping of the perception workload onto an MCM package."""
+
+    package: MCMPackage
+    workload: PerceptionWorkload
+    stage_quadrants: dict[str, tuple[int, ...]]
+    groups: dict[str, GroupSchedule]
+    tolerance: float
+    base_latency_s: float
+    trace: list[TraceStep] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    def group_schedule(self, name: str) -> GroupSchedule:
+        return self.groups[name]
+
+    def chiplets_of(self, name: str) -> tuple[int, ...]:
+        """Physical chiplets of a group, resolving colocation chains."""
+        seen: set[str] = set()
+        gs = self.groups[name]
+        while gs.host is not None:
+            if name in seen:
+                raise ValueError(f"colocation cycle through {name!r}")
+            seen.add(name)
+            name = gs.host
+            gs = self.groups[name]
+        if seen:
+            return gs.chiplet_ids[:1]
+        return gs.chiplet_ids
+
+    @property
+    def used_chiplets(self) -> set[int]:
+        used: set[int] = set()
+        for name in self.groups:
+            used.update(self.chiplets_of(name))
+        return used
+
+    # ------------------------------------------------------------------
+    # Steady-state metrics
+    # ------------------------------------------------------------------
+
+    def chiplet_busy(self) -> dict[int, float]:
+        """Per-frame busy seconds for every chiplet."""
+        busy: dict[int, float] = {c.chiplet_id: 0.0 for c in
+                                  self.package.chiplets}
+        for name, gs in self.groups.items():
+            if gs.host is not None:
+                busy[self.chiplets_of(name)[0]] += gs.plan.span_s
+            else:
+                for cid, t in zip(gs.chiplet_ids, gs.plan.per_chiplet_busy):
+                    busy[cid] += t
+        return busy
+
+    @property
+    def pipe_latency_s(self) -> float:
+        return max(self.chiplet_busy().values())
+
+    # ------------------------------------------------------------------
+    # NoP traffic
+    # ------------------------------------------------------------------
+
+    def _group_output_bytes(self, group: LayerGroup) -> int:
+        return group.output_bytes_per_instance * group.instances
+
+    def _edge(self, src: str, dst: str) -> NoPEdge:
+        """Price the transfer of src's output into dst's chiplets."""
+        src_group = self.workload.find_group(src)
+        payload = self._group_output_bytes(src_group)
+        src_ids = self.chiplets_of(src)
+        dst_ids = self.chiplets_of(dst)
+        per_src = payload / max(1, len(src_ids))
+        total_lat = 0.0
+        total_energy = 0.0
+        hop_sum = 0.0
+        for sid in src_ids:
+            hops = min(self.package.hops(sid, did) for did in dst_ids)
+            t: NoPTransfer = transfer_cost(int(per_src), hops,
+                                           self.package.nop)
+            total_lat = max(total_lat, t.latency_s)
+            total_energy += t.energy_j
+            hop_sum += hops
+        return NoPEdge(src, dst, payload, hop_sum / max(1, len(src_ids)),
+                       total_lat, total_energy)
+
+    def _pipeline_internal_edge(self, name: str) -> NoPEdge | None:
+        gs = self.groups[name]
+        if gs.plan.segments < 2:
+            return None
+        group = self.workload.find_group(name)
+        # Hand-off tensor between segments approximated by the group's
+        # per-instance output size, once per extra segment, over one hop
+        # (segments are placed adjacently).
+        payload = group.output_bytes_per_instance * group.instances
+        hops = gs.plan.segments - 1
+        t = transfer_cost(payload, 1, self.package.nop)
+        return NoPEdge(name, name, payload * hops, 1.0,
+                       t.latency_s * hops, t.energy_j * hops)
+
+    def nop_edges(self) -> list[NoPEdge]:
+        """All inter-group and pipeline-internal NoP transfers."""
+        edges: list[NoPEdge] = []
+        for stage in self.workload.stages:
+            for group in stage.groups:
+                for dep in group.depends_on:
+                    edges.append(self._edge(dep, group.name))
+                internal = self._pipeline_internal_edge(group.name)
+                if internal is not None:
+                    edges.append(internal)
+        # Stage boundary transfers: terminal groups feed the next stage's
+        # source groups.
+        for prev, nxt in zip(self.workload.stages, self.workload.stages[1:]):
+            dependents = {d for g in prev.groups for d in g.depends_on}
+            terminals = [g for g in prev.groups if g.name not in dependents]
+            sources = [g for g in nxt.groups if not g.depends_on]
+            for t in terminals:
+                for s in sources:
+                    edges.append(self._edge(t.name, s.name))
+        return edges
+
+    @property
+    def nop_latency_s(self) -> float:
+        return sum(e.latency_s for e in self.nop_edges())
+
+    @property
+    def nop_energy_j(self) -> float:
+        return sum(e.energy_j for e in self.nop_edges())
+
+    # ------------------------------------------------------------------
+    # End-to-end metrics
+    # ------------------------------------------------------------------
+
+    def stage_span_s(self, stage_name: str, include_nop: bool = True) -> float:
+        """Critical path of one stage (one frame), including intra-stage NoP."""
+        stage = self.workload.stage(stage_name)
+        edge_lat: dict[tuple[str, str], float] = {}
+        if include_nop:
+            for g in stage.groups:
+                for dep in g.depends_on:
+                    edge_lat[(dep, g.name)] = self._edge(dep, g.name).latency_s
+        finish: dict[str, float] = {}
+        for g in stage.topo_order():
+            start = 0.0
+            for dep in g.depends_on:
+                start = max(start,
+                            finish.get(dep, 0.0)
+                            + edge_lat.get((dep, g.name), 0.0))
+            gs = self.groups[g.name]
+            span = gs.plan.span_s
+            internal = self._pipeline_internal_edge(g.name)
+            if include_nop and internal is not None:
+                span += internal.latency_s
+            finish[g.name] = start + span
+        return max(finish.values(), default=0.0)
+
+    @property
+    def e2e_latency_s(self) -> float:
+        total = 0.0
+        for stage in self.workload.stages:
+            total += self.stage_span_s(stage.name)
+        # Stage hand-off transfers.
+        for prev, nxt in zip(self.workload.stages, self.workload.stages[1:]):
+            dependents = {d for g in prev.groups for d in g.depends_on}
+            terminals = [g for g in prev.groups if g.name not in dependents]
+            sources = [g for g in nxt.groups if not g.depends_on]
+            worst = 0.0
+            for t in terminals:
+                for s in sources:
+                    worst = max(worst, self._edge(t.name, s.name).latency_s)
+            total += worst
+        return total
+
+    @property
+    def compute_energy_j(self) -> float:
+        return sum(gs.plan.energy_j for gs in self.groups.values())
+
+    @property
+    def energy_j(self) -> float:
+        return self.compute_energy_j + self.nop_energy_j
+
+    @property
+    def edp_j_ms(self) -> float:
+        """Energy-delay product in J*ms, delay = pipe latency (paper)."""
+        return self.energy_j * self.pipe_latency_s * 1e3
+
+    @property
+    def utilization(self) -> float:
+        """Useful MACs over package PE-cycles in one steady-state window."""
+        freq = self.package.chiplets[0].accel.frequency_hz
+        cycles = self.pipe_latency_s * freq
+        return self.workload.total_macs / (self.package.total_pes * cycles)
+
+    def summary(self) -> dict:
+        """Headline metrics as a plain dict (used by experiments/CLI)."""
+        return {
+            "e2e_ms": self.e2e_latency_s * 1e3,
+            "pipe_ms": self.pipe_latency_s * 1e3,
+            "energy_j": self.energy_j,
+            "edp_j_ms": self.edp_j_ms,
+            "utilization": self.utilization,
+            "nop_latency_ms": self.nop_latency_s * 1e3,
+            "nop_energy_j": self.nop_energy_j,
+            "used_chiplets": len(self.used_chiplets),
+        }

@@ -1,0 +1,242 @@
+"""Sharding transforms and per-group chiplet plans (paper Sec. IV).
+
+The scheduler shards work at *group* granularity, in three legal ways that
+mirror the paper's moves:
+
+* **instances** — distribute independent model/data copies (8 cameras,
+  12 temporal frames, 3 detector heads) across chiplets.  The paper's
+  T_FUSE FFN exhausts this mode at 12 ("each temporal frame is processed
+  independently on a separate chiplet").
+* **rows** — split every layer's output plane into bands, one chiplet per
+  band (the paper's data sharding of fusion projections).  The cost model
+  re-prices each band, so speedups degrade naturally once bands stop
+  aligning with the dataflow's 16-wide tile.
+* **pipeline** — cut a deep serial chain into contiguous segments that form
+  a chiplet pipeline (the paper partitions FE+BFPN "into two pipelining
+  stages at the fourth convolutional ResNet-18 block").
+
+``plan_group`` evaluates the best mode for a given chiplet count and
+returns a :class:`GroupPlan` with per-chiplet busy times (pipe-latency
+contributions), the single-frame span, and energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..cost import AcceleratorConfig, chain_energy_j, chain_latency_s, evaluate
+from ..workloads.graph import LayerGroup
+from ..workloads.layers import Layer
+
+#: shard mode identifiers
+MODE_SINGLE = "single"
+MODE_INSTANCES = "instances"
+MODE_ROWS = "rows"
+MODE_PIPELINE = "pipeline"
+
+
+@dataclass(frozen=True)
+class GroupPlan:
+    """How one layer group runs on ``n_chiplets`` chiplets."""
+
+    group_name: str
+    n_chiplets: int
+    mode: str
+    #: busy seconds per frame for each assigned chiplet (len == n_chiplets)
+    per_chiplet_busy: tuple[float, ...]
+    #: seconds for one frame to traverse the group (compute only)
+    span_s: float
+    energy_j: float
+    macs: int
+    #: pipeline mode only: number of segments per instance
+    segments: int = 1
+
+    @property
+    def pipe_latency_s(self) -> float:
+        """The group's contribution to steady-state pipeline latency."""
+        return max(self.per_chiplet_busy)
+
+
+def split_plane(layer: Layer, n: int, index: int) -> Layer:
+    """Split a layer's output plane into ``n`` bands and take band ``index``.
+
+    2D planes split along rows; 1D token sets (``out_h == 1``) split along
+    the token axis.
+    """
+    if layer.out_h > 1:
+        return layer.split_rows(n, index)
+    if not 1 <= n <= layer.out_w:
+        raise ValueError(
+            f"{layer.name}: cannot split {layer.out_w} tokens {n} ways")
+    base, extra = divmod(layer.out_w, n)
+    cols = base + (1 if index < extra else 0)
+    return replace(layer, name=f"{layer.name}@c{index}/{n}", out_w=cols)
+
+
+def max_row_shards(group: LayerGroup) -> int:
+    """Largest legal row-shard factor (bounded by the narrowest layer)."""
+    return min(
+        l.out_h if l.out_h > 1 else l.out_w for l in group.layers)
+
+
+def _balanced_segments(latencies: list[float], k: int) -> list[int]:
+    """Contiguous min-max partition of a latency chain into ``k`` segments.
+
+    Returns segment boundaries as a list of start indices (length k).
+    Uses dynamic programming; chains are at most a few hundred layers.
+    """
+    n = len(latencies)
+    if k >= n:
+        return list(range(n))[:k] if k <= n else list(range(n))
+    prefix = [0.0]
+    for lat in latencies:
+        prefix.append(prefix[-1] + lat)
+
+    inf = float("inf")
+    # cost[j][i]: min possible max-segment over first i layers in j segments
+    cost = [[inf] * (n + 1) for _ in range(k + 1)]
+    cut = [[0] * (n + 1) for _ in range(k + 1)]
+    cost[0][0] = 0.0
+    for j in range(1, k + 1):
+        for i in range(j, n + 1):
+            for m in range(j - 1, i):
+                seg = prefix[i] - prefix[m]
+                val = max(cost[j - 1][m], seg)
+                if val < cost[j][i]:
+                    cost[j][i] = val
+                    cut[j][i] = m
+    bounds = []
+    i = n
+    for j in range(k, 0, -1):
+        m = cut[j][i]
+        bounds.append(m)
+        i = m
+    return sorted(bounds)
+
+
+def _instance_counts(instances: int, n: int) -> list[int]:
+    base, extra = divmod(instances, n)
+    return [base + (1 if j < extra else 0) for j in range(n)]
+
+
+def _plan_single(group: LayerGroup, accel: AcceleratorConfig) -> GroupPlan:
+    per_instance = chain_latency_s(group.layers, accel)
+    busy = per_instance * group.instances
+    return GroupPlan(
+        group_name=group.name,
+        n_chiplets=1,
+        mode=MODE_SINGLE,
+        per_chiplet_busy=(busy,),
+        span_s=busy,
+        energy_j=chain_energy_j(group.layers, accel) * group.instances,
+        macs=group.total_macs,
+    )
+
+
+def _plan_instances(group: LayerGroup, n: int,
+                    accel: AcceleratorConfig) -> GroupPlan | None:
+    if group.instances < 2 or n > group.instances:
+        return None
+    per_instance = chain_latency_s(group.layers, accel)
+    counts = _instance_counts(group.instances, n)
+    busy = tuple(c * per_instance for c in counts)
+    return GroupPlan(
+        group_name=group.name,
+        n_chiplets=n,
+        mode=MODE_INSTANCES,
+        per_chiplet_busy=busy,
+        span_s=busy[0],
+        energy_j=chain_energy_j(group.layers, accel) * group.instances,
+        macs=group.total_macs,
+    )
+
+
+def _plan_rows(group: LayerGroup, n: int,
+               accel: AcceleratorConfig) -> GroupPlan | None:
+    if not group.row_shardable or group.instances != 1:
+        return None
+    if n > max_row_shards(group):
+        return None
+    busy = []
+    energy = 0.0
+    for idx in range(n):
+        shard = [split_plane(l, n, idx) for l in group.layers]
+        busy.append(chain_latency_s(shard, accel))
+        energy += chain_energy_j(shard, accel)
+    return GroupPlan(
+        group_name=group.name,
+        n_chiplets=n,
+        mode=MODE_ROWS,
+        per_chiplet_busy=tuple(busy),
+        span_s=max(busy),
+        energy_j=energy,
+        macs=group.total_macs,
+    )
+
+
+def _plan_pipeline(group: LayerGroup, n: int,
+                   accel: AcceleratorConfig) -> GroupPlan | None:
+    if not group.pipeline_splittable:
+        return None
+    if n % group.instances != 0:
+        return None
+    k = n // group.instances
+    if k < 2 or k > len(group.layers):
+        return None
+    lats = [evaluate(l, accel).latency_s for l in group.layers]
+    bounds = _balanced_segments(lats, k)
+    seg_lat = []
+    for si, start in enumerate(bounds):
+        end = bounds[si + 1] if si + 1 < len(bounds) else len(lats)
+        seg_lat.append(sum(lats[start:end]))
+    busy = tuple(seg_lat) * group.instances
+    return GroupPlan(
+        group_name=group.name,
+        n_chiplets=n,
+        mode=MODE_PIPELINE,
+        per_chiplet_busy=busy,
+        span_s=sum(seg_lat),
+        energy_j=chain_energy_j(group.layers, accel) * group.instances,
+        macs=group.total_macs,
+        segments=k,
+    )
+
+
+def plan_group(group: LayerGroup, n: int,
+               accel: AcceleratorConfig) -> GroupPlan | None:
+    """Best plan for running ``group`` on exactly ``n`` chiplets.
+
+    Returns None when no shard mode can use ``n`` chiplets.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if n == 1:
+        return _plan_single(group, accel)
+    candidates = [
+        plan for plan in (
+            _plan_instances(group, n, accel),
+            _plan_rows(group, n, accel),
+            _plan_pipeline(group, n, accel),
+        ) if plan is not None
+    ]
+    if not candidates:
+        return None
+    return min(candidates, key=lambda p: (p.pipe_latency_s, p.span_s))
+
+
+def next_shard_step(group: LayerGroup, n: int, max_n: int,
+                    accel: AcceleratorConfig) -> GroupPlan | None:
+    """Smallest n' > n (<= max_n) that strictly reduces pipe latency.
+
+    This is the inner-loop move of Algorithm 1: one sharding step of the
+    bottleneck group.  Chiplet counts that cannot help (e.g. 5 chiplets for
+    8 instances, no better than 4) are skipped.
+    """
+    current = plan_group(group, n, accel)
+    if current is None:
+        return None
+    for n_next in range(n + 1, max_n + 1):
+        plan = plan_group(group, n_next, accel)
+        if plan is not None and plan.pipe_latency_s < current.pipe_latency_s:
+            return plan
+    return None

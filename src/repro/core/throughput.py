@@ -1,0 +1,292 @@
+"""Algorithm 1: nested greedy throughput matching (the paper's Sec. IV).
+
+The matcher allocates chiplets to the four perception stages (one mesh
+quadrant each), establishes the base pipelining latency from the FE+BFPN
+stage (Sec. IV-A), then repeatedly relieves bottlenecks by data sharding:
+
+* **Phase "match"** (the paper's outer/inner loops): every stage whose pipe
+  latency exceeds ``tolerance * Lat_base`` shards its bottleneck group one
+  step at a time within the stage's quadrant budget.
+* **Phase "global"**: while the global bottleneck group can still be
+  sharded inside its stage budget, do so.  This is what extends sharding
+  when two NPUs are active (Fig. 10): T_FUSE exhausts its 12-frame
+  sharding, FE+BFPN is partitioned into two pipeline segments, and the
+  spatial projections split further.
+* **Phase "absorb"** (the paper's surplus reallocation, line 13-14):
+  leftover quadrant chiplets are granted to the stage-local bottleneck
+  groups even when the stage already meets the target — e.g. the spatial
+  FFN's four-fold sharding in Fig. 6.
+
+Every decision is appended to :attr:`Schedule.trace`, which reproduces the
+step plot of Fig. 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch import MCMPackage, simba_package
+from ..cost import AcceleratorConfig
+from ..workloads.graph import LayerGroup, PerceptionWorkload
+from ..workloads.pipeline import build_perception_workload
+from .placement import default_stage_quadrants, place
+from .schedule import GroupSchedule, Schedule, TraceStep
+from .sharding import GroupPlan, next_shard_step, plan_group
+
+#: hard cap on algorithm iterations (safety against pathological configs)
+_MAX_STEPS = 1000
+
+
+@dataclass
+class _State:
+    """Mutable algorithm state shared by the phases."""
+
+    workload: PerceptionWorkload
+    package: MCMPackage
+    stage_quadrants: dict[str, tuple[int, ...]]
+    accel_of: dict[str, AcceleratorConfig]
+    plans: dict[str, GroupPlan]
+    colocated: dict[str, str]
+    capacity: dict[str, int]
+    trace: list[TraceStep]
+    step: int = 0
+
+    def stage_of(self, group_name: str) -> str:
+        return self.workload.find_group(group_name).stage
+
+    def used(self, stage_name: str) -> int:
+        return sum(
+            self.plans[g.name].n_chiplets
+            for g in self.workload.stage(stage_name).groups
+            if g.name not in self.colocated)
+
+    def budget_left(self, stage_name: str) -> int:
+        return self.capacity[stage_name] - self.used(stage_name)
+
+    def total_budget_left(self) -> int:
+        return sum(self.budget_left(s.name) for s in self.workload.stages)
+
+    def effective_pipe(self, group: LayerGroup) -> float:
+        """Group pipe latency plus any colocated spans it hosts."""
+        pipe = self.plans[group.name].pipe_latency_s
+        hosted = sum(self.plans[g].span_s
+                     for g, host in self.colocated.items()
+                     if host == group.name)
+        return pipe + hosted
+
+    def global_pipe_s(self) -> float:
+        return max(self.effective_pipe(g)
+                   for s in self.workload.stages for g in s.groups
+                   if g.name not in self.colocated)
+
+    def record(self, phase: str, action: str, group: str) -> None:
+        self.step += 1
+        self.trace.append(TraceStep(
+            step=self.step,
+            phase=phase,
+            action=action,
+            group=group,
+            n_chiplets=self.plans[group].n_chiplets,
+            pipe_latency_ms=self.global_pipe_s() * 1e3,
+            chiplets_remaining=self.total_budget_left(),
+        ))
+
+
+class ThroughputMatcher:
+    """Nested greedy throughput matching over an MCM package."""
+
+    def __init__(self,
+                 workload: PerceptionWorkload | None = None,
+                 package: MCMPackage | None = None,
+                 tolerance: float = 1.05,
+                 colocate_threshold_s: float = 0.005):
+        if tolerance < 1.0:
+            raise ValueError("tolerance must be >= 1.0")
+        self.workload = workload or build_perception_workload()
+        self.package = package or simba_package()
+        self.tolerance = tolerance
+        self.colocate_threshold_s = colocate_threshold_s
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> Schedule:
+        state = self._initial_state()
+        base = self._base_latency(state)
+        target = self.tolerance * base
+
+        self._phase_match(state, target)
+        self._phase_global(state)
+        self._phase_absorb(state)
+
+        alloc = {name: plan.n_chiplets for name, plan in state.plans.items()
+                 if name not in state.colocated}
+        assignment = place(self.workload, self.package, alloc,
+                           state.stage_quadrants, state.colocated)
+        groups = {}
+        for stage in self.workload.stages:
+            for g in stage.groups:
+                if g.name in state.colocated:
+                    groups[g.name] = GroupSchedule(
+                        plan=state.plans[g.name], chiplet_ids=(),
+                        host=state.colocated[g.name])
+                else:
+                    groups[g.name] = GroupSchedule(
+                        plan=state.plans[g.name],
+                        chiplet_ids=assignment[g.name])
+        return Schedule(
+            package=self.package,
+            workload=self.workload,
+            stage_quadrants=state.stage_quadrants,
+            groups=groups,
+            tolerance=self.tolerance,
+            base_latency_s=base,
+            trace=state.trace,
+        )
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def _initial_state(self) -> _State:
+        stage_quadrants = default_stage_quadrants(self.workload, self.package)
+        accel_of: dict[str, AcceleratorConfig] = {}
+        capacity: dict[str, int] = {}
+        for stage in self.workload.stages:
+            quads = stage_quadrants[stage.name]
+            accel_of[stage.name] = self.package.quadrant(quads[0])[0].accel
+            capacity[stage.name] = sum(
+                self.package.quadrant_capacity(q) for q in quads)
+
+        colocated = self._find_colocated(accel_of)
+        plans: dict[str, GroupPlan] = {}
+        for si, stage in enumerate(self.workload.stages):
+            accel = accel_of[stage.name]
+            allocatable = [g for g in stage.groups
+                           if g.name not in colocated]
+            used = 0
+            for idx, g in enumerate(stage.groups):
+                if g.name in colocated:
+                    plans[g.name] = plan_group(g, 1, accel)
+                    continue
+                n = 1
+                if si == 0 and g.instances > 1:
+                    # The FE stage starts with one chiplet per concurrent
+                    # model (Sec. IV-A: "at least 8 chiplets need to be
+                    # initially allocated"), but never starves the
+                    # stage's remaining groups of their first chiplet.
+                    reserved = sum(1 for other in allocatable
+                                   if other.name != g.name
+                                   and other.name not in plans)
+                    avail = capacity[stage.name] - used - reserved
+                    n = max(1, min(g.instances, avail))
+                plans[g.name] = plan_group(g, n, accel)
+                used += plans[g.name].n_chiplets
+        state = _State(
+            workload=self.workload,
+            package=self.package,
+            stage_quadrants=stage_quadrants,
+            accel_of=accel_of,
+            plans=plans,
+            colocated=colocated,
+            capacity=capacity,
+            trace=[],
+        )
+        for stage in self.workload.stages:
+            for g in stage.groups:
+                if g.name not in colocated:
+                    state.record("init", "allocate", g.name)
+        return state
+
+    def _find_colocated(self, accel_of) -> dict[str, str]:
+        """Tiny groups ride on a consumer's (else a producer's) chiplet."""
+        colocated: dict[str, str] = {}
+        for stage in self.workload.stages:
+            for g in stage.groups:
+                plan = plan_group(g, 1, accel_of[stage.name])
+                if plan.span_s >= self.colocate_threshold_s:
+                    continue
+                consumers = [h for h in stage.groups
+                             if g.name in h.depends_on]
+                host = None
+                for cand in consumers + [
+                        self.workload.find_group(d) for d in g.depends_on]:
+                    if cand.name not in colocated:
+                        host = cand.name
+                        break
+                if host is not None:
+                    colocated[g.name] = host
+        return colocated
+
+    def _base_latency(self, state: _State) -> float:
+        """Lat_base: the FE+BFPN stage's pipelining latency (Sec. IV-A)."""
+        first = self.workload.stages[0]
+        return max(state.effective_pipe(g) for g in first.groups
+                   if g.name not in state.colocated)
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+
+    def _shard_once(self, state: _State, group: LayerGroup,
+                    phase: str) -> bool:
+        """Try one sharding step of ``group``; returns True on success."""
+        stage_name = group.stage
+        current = state.plans[group.name]
+        max_n = current.n_chiplets + state.budget_left(stage_name)
+        plan = next_shard_step(group, current.n_chiplets, max_n,
+                               state.accel_of[stage_name])
+        if plan is None:
+            return False
+        state.plans[group.name] = plan
+        state.record(phase, "shard", group.name)
+        return True
+
+    def _phase_match(self, state: _State, target: float) -> None:
+        """Stage-local matching to the base pipelining latency."""
+        for stage in self.workload.stages[1:]:
+            for _ in range(_MAX_STEPS):
+                groups = [g for g in stage.groups
+                          if g.name not in state.colocated]
+                bottleneck = max(groups, key=state.effective_pipe)
+                if state.effective_pipe(bottleneck) <= target:
+                    break
+                if not self._shard_once(state, bottleneck, "match"):
+                    break
+
+    def _phase_global(self, state: _State) -> None:
+        """Reduce the global bottleneck while budgets allow."""
+        blocked: set[str] = set()
+        for _ in range(_MAX_STEPS):
+            candidates = [g for s in self.workload.stages for g in s.groups
+                          if g.name not in state.colocated
+                          and g.name not in blocked]
+            if not candidates:
+                break
+            bottleneck = max(candidates, key=state.effective_pipe)
+            if state.effective_pipe(bottleneck) < state.global_pipe_s():
+                break  # true bottleneck is unshardable
+            if not self._shard_once(state, bottleneck, "global"):
+                blocked.add(bottleneck.name)
+
+    def _phase_absorb(self, state: _State) -> None:
+        """Grant leftover quadrant chiplets to stage-local bottlenecks."""
+        for stage in self.workload.stages:
+            blocked: set[str] = set()
+            for _ in range(_MAX_STEPS):
+                if state.budget_left(stage.name) <= 0:
+                    break
+                groups = [g for g in stage.groups
+                          if g.name not in state.colocated
+                          and g.name not in blocked]
+                if not groups:
+                    break
+                bottleneck = max(groups, key=state.effective_pipe)
+                if not self._shard_once(state, bottleneck, "absorb"):
+                    blocked.add(bottleneck.name)
+
+
+def match_throughput(workload: PerceptionWorkload | None = None,
+                     package: MCMPackage | None = None,
+                     tolerance: float = 1.05) -> Schedule:
+    """Convenience wrapper: run Algorithm 1 with defaults."""
+    return ThroughputMatcher(workload, package, tolerance).run()

@@ -1,0 +1,41 @@
+"""Analytical DNN accelerator cost model (MAESTRO stand-in)."""
+
+from .accelerator import (
+    OUTPUT_STATIONARY,
+    WEIGHT_STATIONARY,
+    AcceleratorConfig,
+    monolithic,
+    nvdla_chiplet,
+    shidiannao_chiplet,
+    simba_chiplet,
+)
+from .dataflow import MappingAnalysis, map_layer
+from .energy import ENERGY_28NM, EnergyTable
+from .model import (
+    LayerCost,
+    chain_cycles,
+    chain_energy_j,
+    chain_latency_s,
+    clear_cache,
+    evaluate,
+)
+
+__all__ = [
+    "OUTPUT_STATIONARY",
+    "WEIGHT_STATIONARY",
+    "AcceleratorConfig",
+    "monolithic",
+    "nvdla_chiplet",
+    "shidiannao_chiplet",
+    "simba_chiplet",
+    "MappingAnalysis",
+    "map_layer",
+    "ENERGY_28NM",
+    "EnergyTable",
+    "LayerCost",
+    "chain_cycles",
+    "chain_energy_j",
+    "chain_latency_s",
+    "clear_cache",
+    "evaluate",
+]

@@ -1,0 +1,220 @@
+"""Dataflow mapping analysis: spatial engagement, cycles, and buffer traffic.
+
+This is the data-centric core of the MAESTRO stand-in.  For each (layer,
+accelerator) pair we derive:
+
+* how the dataflow tiles the layer onto its native spatial extent,
+* how many compute cycles the temporal loops take,
+* how many words each operand moves at the global buffer (reuse analysis).
+
+Two dataflow styles are implemented, matching the paper's Sec. III setup:
+
+**Output stationary (ShiDianNao-like).**  The output plane is tiled 2D onto
+the array; each PE owns one output pixel and temporally accumulates over
+``k * c * r * s``.  Partial sums never move.  The filter operand is
+re-fetched from the global buffer once per tile position; input activations
+are cached in the PE register file across the output-channel loop when they
+fit.  Pure 1D token sets (plane height 1) fold across the whole array.
+
+**Weight stationary (NVDLA-like).**  The (K, C) filter face is tiled onto
+the array; the output plane streams temporally.  Weights are fetched once;
+input activations are served once from the conv buffer (NVDLA CBUF semantics:
+reuse across the full K loop); partial sums traverse PEs and pay a
+sequential accumulation drain per output vector pass
+(:attr:`AcceleratorConfig.reduction_drain_cycles`) plus spill traffic to the
+accumulation buffer whenever the reduction spans multiple C tiles.
+
+The drain term is the calibrated mechanism behind the paper's Fig. 3/4
+observation that the OS dataflow is uniformly faster (6.85x geomean): with
+``r*s = 9`` convolutions it costs ~(9+8)/9 = 1.9x, while attention layers
+(``r = s = 1``) degrade to ~9x — which is exactly the affinity split the
+paper reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..workloads.layers import Layer, LayerKind
+from .accelerator import (
+    OUTPUT_STATIONARY,
+    ROW_STATIONARY,
+    WEIGHT_STATIONARY,
+    AcceleratorConfig,
+)
+
+
+@dataclass(frozen=True)
+class MappingAnalysis:
+    """Result of mapping one compute layer onto one engine."""
+
+    #: number of sequential spatial passes (tile positions / filter tiles)
+    passes: int
+    #: compute cycles for the whole layer (excludes bandwidth stalls)
+    compute_cycles: int
+    #: average fraction of the native tile's PEs doing useful work
+    engagement: float
+    #: global-buffer words moved per operand
+    weight_gb_words: int
+    input_gb_words: int
+    output_gb_words: int
+    #: psum spill words at the accumulation buffer (WS only)
+    accum_words: int
+
+    @property
+    def gb_words(self) -> int:
+        return self.weight_gb_words + self.input_gb_words + self.output_gb_words
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def _plane_tiles(layer: Layer, tile: tuple[int, int]) -> tuple[int, float]:
+    """Tile the output plane; return (positions, engagement).
+
+    2D planes tile as ceil(h/th) * ceil(w/tw); 1D token rows (h == 1) fold
+    across the full native extent since they carry no 2D adjacency to
+    preserve.
+    """
+    th, tw = tile
+    pes = th * tw
+    if layer.out_h == 1:
+        positions = _ceil_div(layer.out_w, pes)
+    else:
+        positions = _ceil_div(layer.out_h, th) * _ceil_div(layer.out_w, tw)
+    engagement = layer.out_plane / (positions * pes)
+    return positions, engagement
+
+
+def map_output_stationary(layer: Layer,
+                          accel: AcceleratorConfig) -> MappingAnalysis:
+    """ShiDianNao-like mapping of a compute layer."""
+    positions, engagement = _plane_tiles(layer, accel.native_tile)
+    work_per_pixel = layer.k * layer.c * layer.r * layer.s
+    compute_cycles = positions * work_per_pixel
+
+    # Filter operand re-fetched once per tile position.
+    weight_gb = layer.weight_words * positions
+
+    # Inputs cached per-PE across the K loop when the per-pixel receptive
+    # field fits the PE register file; otherwise re-fetched per K chunk.
+    footprint = layer.c * layer.r * layer.s
+    if layer.kind is LayerKind.DWCONV:
+        rereads = 1
+    else:
+        rereads = min(layer.k, _ceil_div(footprint, accel.pe_cache_words))
+    input_gb = layer.input_words * rereads
+
+    return MappingAnalysis(
+        passes=positions,
+        compute_cycles=compute_cycles,
+        engagement=engagement,
+        weight_gb_words=weight_gb,
+        input_gb_words=input_gb,
+        output_gb_words=layer.output_words,
+        accum_words=0,
+    )
+
+
+def map_weight_stationary(layer: Layer,
+                          accel: AcceleratorConfig) -> MappingAnalysis:
+    """NVDLA-like mapping of a compute layer."""
+    th, tw = accel.native_tile
+    pes = th * tw
+    if layer.kind is LayerKind.DWCONV:
+        # No cross-channel reduction: K channels spread over the whole array.
+        passes = _ceil_div(layer.k, pes)
+        engagement = layer.k / (passes * pes)
+        c_tiles = 1
+        drain = 0  # each PE accumulates privately; nothing crosses PEs
+    else:
+        k_tiles = _ceil_div(layer.k, th)
+        c_tiles = _ceil_div(layer.c, tw)
+        passes = k_tiles * c_tiles
+        engagement = (layer.k * layer.c) / (passes * pes)
+        drain = accel.reduction_drain_cycles
+
+    work_per_pass = layer.out_plane * (layer.r * layer.s + drain)
+    compute_cycles = passes * work_per_pass
+
+    # Weights loaded once; inputs served once from the conv buffer (reused
+    # across the K loop and the r*s window); outputs written once.  Partial
+    # sums spill to the accumulation buffer for every extra C tile.
+    accum = 2 * layer.output_words * (c_tiles - 1)
+
+    return MappingAnalysis(
+        passes=passes,
+        compute_cycles=compute_cycles,
+        engagement=engagement,
+        weight_gb_words=layer.weight_words,
+        input_gb_words=layer.input_words,
+        output_gb_words=layer.output_words,
+        accum_words=accum,
+    )
+
+
+def map_row_stationary(layer: Layer,
+                       accel: AcceleratorConfig) -> MappingAnalysis:
+    """Eyeriss-like mapping (extension beyond the paper's OS/WS pair).
+
+    Each PE performs a 1D row convolution: the array's row axis holds the
+    ``r`` filter rows (folded across output channels when ``r`` is small),
+    the column axis holds a tile of output rows.  Partial sums accumulate
+    vertically across the ``r`` rows of a fold.
+
+    With ``r = s = 1`` (attention/linear layers) the row dimension carries
+    no reuse and the mapping degenerates to an output-tiled scheme with
+    extra weight re-fetches — which is exactly why the paper's workload
+    mix favours the OS/WS pair.
+    """
+    th, tw = accel.native_tile
+    if layer.kind is LayerKind.DWCONV:
+        # One channel behaves like k-fold rows of an ordinary conv.
+        folds = max(1, th // layer.r)
+        k_groups = _ceil_div(layer.k, folds)
+        passes = _ceil_div(layer.out_h, tw) * k_groups
+        work_per_pass = layer.out_w * layer.s
+        engaged = (layer.k * layer.r * min(layer.out_h, tw)
+                   / (passes * th * tw / _ceil_div(layer.out_h, tw)))
+        engagement = min(1.0, engaged / max(1, k_groups))
+        accum = 2 * layer.output_words * (layer.r - 1)
+        compute = passes * work_per_pass
+    else:
+        folds = max(1, th // layer.r)
+        k_groups = _ceil_div(layer.k, folds)
+        row_tiles = _ceil_div(layer.out_h, tw)
+        passes = row_tiles * k_groups
+        # Per pass: every output column, kernel column, input channel.
+        work_per_pass = layer.out_w * layer.s * layer.c
+        compute = passes * work_per_pass
+        useful = layer.macs
+        engagement = min(1.0, useful / (compute * th * tw))
+        accum = 2 * layer.output_words * (layer.r - 1)
+
+    weight_rereads = _ceil_div(layer.out_h, tw)
+    return MappingAnalysis(
+        passes=passes,
+        compute_cycles=compute,
+        engagement=max(engagement, 1e-9),
+        weight_gb_words=layer.weight_words * weight_rereads,
+        input_gb_words=layer.input_words * max(1, k_groups // 4),
+        output_gb_words=layer.output_words,
+        accum_words=accum,
+    )
+
+
+_MAPPERS = {
+    OUTPUT_STATIONARY: map_output_stationary,
+    WEIGHT_STATIONARY: map_weight_stationary,
+    ROW_STATIONARY: map_row_stationary,
+}
+
+
+def map_layer(layer: Layer, accel: AcceleratorConfig) -> MappingAnalysis:
+    """Dispatch to the engine's dataflow mapper (compute layers only)."""
+    if not layer.kind.is_compute:
+        raise ValueError(
+            f"{layer.name}: {layer.kind} is not a MAC-array layer")
+    return _MAPPERS[accel.dataflow](layer, accel)

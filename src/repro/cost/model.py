@@ -1,0 +1,139 @@
+"""Layer and group cost evaluation (latency, energy, utilization).
+
+``evaluate(layer, accel)`` is the single entry point the rest of the system
+uses; results are memoized since the scheduler re-prices layers many times
+while sharding.  Latency follows a roofline:
+
+``cycles = max(compute_cycles, gb_words / gb_words_per_cycle)``
+
+Energy sums per-access costs over the operand traffic derived by the
+dataflow mapper, plus DRAM energy for streaming true (non-activation) filter
+weights once per frame.
+
+Two utilization views are reported, and the distinction carries the paper's
+Table II argument:
+
+* ``utilization`` — useful MACs over *all* PE-cycles of the engine.  A
+  monolithic 9,216-PE die running a 256-wide dataflow collapses here.
+* ``engagement`` — useful MACs over the *native tile's* PE-cycles, i.e. how
+  well the layer fills the dataflow's own extent.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+from ..workloads.layers import Layer
+from .accelerator import AcceleratorConfig
+from .dataflow import MappingAnalysis, map_layer
+from .energy import PJ_TO_J
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Performance of one layer on one engine."""
+
+    layer_name: str
+    cycles: int
+    latency_s: float
+    energy_j: float
+    macs: int
+    utilization: float
+    engagement: float
+    bound: str  # "compute" | "bandwidth" | "vector"
+    gb_words: int
+    accum_words: int
+    dram_words: int
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_s * 1e3
+
+
+@functools.lru_cache(maxsize=None)
+def evaluate(layer: Layer, accel: AcceleratorConfig) -> LayerCost:
+    """Price one layer on one engine."""
+    if layer.kind.is_compute:
+        return _evaluate_compute(layer, accel)
+    return _evaluate_vector(layer, accel)
+
+
+def _evaluate_compute(layer: Layer, accel: AcceleratorConfig) -> LayerCost:
+    mapping: MappingAnalysis = map_layer(layer, accel)
+    e = accel.energy
+
+    traffic_cycles = -(-mapping.gb_words // accel.gb_words_per_cycle)
+    cycles = max(mapping.compute_cycles, traffic_cycles)
+    bound = "compute" if cycles == mapping.compute_cycles else "bandwidth"
+
+    # True filter weights stream from DRAM once per frame; activation
+    # "weights" (attention matmuls) are produced on-package.
+    dram_words = 0 if layer.weights_are_activations else layer.weight_words
+
+    energy_pj = (
+        layer.macs * e.mac_pj
+        + mapping.gb_words * e.gb_pj_word
+        + mapping.accum_words * e.accum_pj_word
+        + dram_words * e.dram_pj_word
+    )
+
+    latency = cycles / accel.frequency_hz
+    return LayerCost(
+        layer_name=layer.name,
+        cycles=cycles,
+        latency_s=latency,
+        energy_j=energy_pj * PJ_TO_J,
+        macs=layer.macs,
+        utilization=layer.macs / (cycles * accel.pe_count),
+        engagement=mapping.engagement,
+        bound=bound,
+        gb_words=mapping.gb_words,
+        accum_words=mapping.accum_words,
+        dram_words=dram_words,
+    )
+
+
+def _evaluate_vector(layer: Layer, accel: AcceleratorConfig) -> LayerCost:
+    e = accel.energy
+    elems = layer.vector_elems
+    cycles = max(1, -(-elems // accel.vector_lanes))
+    gb_words = layer.input_words + layer.output_words
+    energy_pj = elems * e.vector_pj + gb_words * e.gb_pj_word
+    return LayerCost(
+        layer_name=layer.name,
+        cycles=cycles,
+        latency_s=cycles / accel.frequency_hz,
+        energy_j=energy_pj * PJ_TO_J,
+        macs=0,
+        utilization=0.0,
+        engagement=0.0,
+        bound="vector",
+        gb_words=gb_words,
+        accum_words=0,
+        dram_words=0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Aggregates used throughout the scheduler and simulator
+# ----------------------------------------------------------------------
+
+def chain_latency_s(layers, accel: AcceleratorConfig) -> float:
+    """Serial latency of a layer chain on one engine."""
+    return sum(evaluate(l, accel).latency_s for l in layers)
+
+
+def chain_energy_j(layers, accel: AcceleratorConfig) -> float:
+    """Total energy of a layer chain on one engine."""
+    return sum(evaluate(l, accel).energy_j for l in layers)
+
+
+def chain_cycles(layers, accel: AcceleratorConfig) -> int:
+    """Serial cycle count of a layer chain on one engine."""
+    return sum(evaluate(l, accel).cycles for l in layers)
+
+
+def clear_cache() -> None:
+    """Drop the memoized cost table (mainly for tests/ablations)."""
+    evaluate.cache_clear()

@@ -1,0 +1,24 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each module exposes ``run() -> dict`` (structured results) and
+``render(result) -> str`` (the human-readable table).  Benchmarks and the
+CLI are thin wrappers over these.
+"""
+
+from . import fig3, fig4, fig5to8, fig9, fig10, fig11, platform, table1, \
+    table2, table3
+
+ALL_EXPERIMENTS = {
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5to8": fig5to8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "platform": platform,
+}
+
+__all__ = ["ALL_EXPERIMENTS"] + list(ALL_EXPERIMENTS)

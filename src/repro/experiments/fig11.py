@@ -1,0 +1,47 @@
+"""Experiment fig11: lane trunk under context-aware computing (Fig. 11)."""
+
+from __future__ import annotations
+
+from ..core import lane_context_sweep, min_feasible_fraction
+from ..cost import chain_latency_s, shidiannao_chiplet
+from ..sim.metrics import format_table
+from ..viz import hbar_chart
+from ..workloads import build_perception_workload
+
+
+def run(threshold_s: float | None = None) -> dict:
+    if threshold_s is None:
+        # The constraint is the FE+BFPN base pipelining latency with the
+        # scheduler's 5% tolerance (the paper's dashed 82 ms line).
+        workload = build_perception_workload()
+        fe = workload.stage("FE_BFPN").groups[0]
+        threshold_s = 1.05 * chain_latency_s(fe.layers, shidiannao_chiplet())
+    points = lane_context_sweep(threshold_s=threshold_s)
+    return {
+        "threshold_ms": round(threshold_s * 1e3, 2),
+        "points": [
+            {
+                "context_pct": round(p.fraction * 100),
+                "latency_ms": round(p.latency_ms, 2),
+                "energy_mj": round(p.energy_j * 1e3, 2),
+                "meets_constraint": p.meets_constraint,
+            }
+            for p in points
+        ],
+        "min_feasible_context_pct": round(
+            min_feasible_fraction(points) * 100),
+    }
+
+
+def render(result: dict | None = None) -> str:
+    result = result or run()
+    parts = [format_table(result["points"],
+                          "Fig. 11: lane trunk context sweep")]
+    parts.append(hbar_chart(
+        [(f"{p['context_pct']}%", p["latency_ms"])
+         for p in result["points"]],
+        title="lane latency vs retained context", unit=" ms"))
+    parts.append(
+        f"threshold {result['threshold_ms']} ms; largest feasible context "
+        f"{result['min_feasible_context_pct']}% (paper: ~60%)")
+    return "\n".join(parts)

@@ -1,0 +1,43 @@
+"""Experiment fig4: per-layer OS/WS affinity deltas (Fig. 4)."""
+
+from __future__ import annotations
+
+from ..analysis import affinity_blocks
+from ..sim.metrics import format_table
+from ..workloads import PipelineConfig, build_perception_workload
+
+
+def run(config: PipelineConfig | None = None) -> dict:
+    workload = build_perception_workload(config)
+    panels = affinity_blocks(workload)
+    out: dict = {"panels": {}, "summary": {}}
+    for label, rows in panels.items():
+        out["panels"][label] = [
+            {
+                "layer": r.layer,
+                "group": r.group,
+                "delta_latency_ms": round(r.delta_latency_ms, 3),
+                "delta_energy_mj": round(r.delta_energy_mj, 4),
+            }
+            for r in rows
+        ]
+        n = len(rows)
+        out["summary"][label] = {
+            "layers": n,
+            "os_latency_affine_pct": round(
+                100 * sum(r.delta_latency_ms < 0 for r in rows) / n, 1),
+            "ws_energy_affine_pct": round(
+                100 * sum(r.delta_energy_mj > 0 for r in rows) / n, 1),
+        }
+    return out
+
+
+def render(result: dict | None = None) -> str:
+    result = result or run()
+    parts = []
+    for label, stats in result["summary"].items():
+        parts.append(f"Fig. 4 panel {label!r}: {stats}")
+    # Show the fusion panel rows (the paper's bottleneck analysis).
+    parts.append(format_table(result["panels"]["S+T Attn Fusion"][:12],
+                              "S+T fusion layer deltas (first 12)"))
+    return "\n".join(parts)

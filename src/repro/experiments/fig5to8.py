@@ -1,0 +1,70 @@
+"""Experiment fig5to8: per-stage quadrant mappings and metrics (Figs. 5-8).
+
+Runs Algorithm 1 on the 6x6 package and reports, for each perception
+stage: the chiplet mapping (group -> chiplets/mode), E2E latency, pipe
+latency, energy, and EDP — the annotation boxes of the paper's Figs. 5-8.
+"""
+
+from __future__ import annotations
+
+from ..arch import simba_package
+from ..core import Schedule, match_throughput
+from ..sim.metrics import format_table
+from ..viz import render_floorplan
+from ..workloads import PipelineConfig, build_perception_workload
+
+
+def stage_report(schedule: Schedule, stage_name: str) -> dict:
+    """Stage-local metrics mirroring a Fig. 5-8 annotation box."""
+    stage = schedule.workload.stage(stage_name)
+    stage_chiplets: set[int] = set()
+    energy = 0.0
+    mapping = {}
+    for g in stage.groups:
+        gs = schedule.groups[g.name]
+        energy += gs.plan.energy_j
+        stage_chiplets.update(schedule.chiplets_of(g.name))
+        mapping[g.name] = {
+            "chiplets": gs.plan.n_chiplets if gs.host is None else 0,
+            "mode": gs.plan.mode if gs.host is None else f"on {gs.host}",
+        }
+    busy = schedule.chiplet_busy()
+    pipe = max(busy[c] for c in stage_chiplets)
+    intra_nop = [e for e in schedule.nop_edges()
+                 if e.src_group in mapping and e.dst_group in mapping]
+    energy += sum(e.energy_j for e in intra_nop)
+    e2e = schedule.stage_span_s(stage_name)
+    return {
+        "stage": stage_name,
+        "e2e_ms": round(e2e * 1e3, 2),
+        "pipe_ms": round(pipe * 1e3, 2),
+        "energy_j": round(energy, 4),
+        "edp_j_ms": round(energy * pipe * 1e3, 2),
+        "chiplets": len(stage_chiplets),
+        "mapping": mapping,
+    }
+
+
+def run(config: PipelineConfig | None = None, npus: int = 1) -> dict:
+    workload = build_perception_workload(config)
+    schedule = match_throughput(workload, simba_package(npus=npus))
+    stages = [stage_report(schedule, s.name) for s in workload.stages]
+    return {
+        "stages": stages,
+        "base_latency_ms": round(schedule.base_latency_s * 1e3, 2),
+        "overall": {k: round(v, 3) for k, v in schedule.summary().items()},
+        "floorplan": render_floorplan(schedule),
+    }
+
+
+def render(result: dict | None = None) -> str:
+    result = result or run()
+    rows = [{k: v for k, v in s.items() if k != "mapping"}
+            for s in result["stages"]]
+    parts = [format_table(rows, "Figs. 5-8: stage mappings on the 6x6 MCM")]
+    for s in result["stages"]:
+        parts.append(f"{s['stage']} mapping: {s['mapping']}")
+    parts.append(f"Lat_base = {result['base_latency_ms']} ms "
+                 f"(paper: 82.7 ms); overall = {result['overall']}")
+    parts.append(result["floorplan"])
+    return "\n".join(parts)

@@ -1,0 +1,49 @@
+"""Experiment fig9: NoP data-movement costs across stages 1-3 (Fig. 9)."""
+
+from __future__ import annotations
+
+from ..arch import simba_package
+from ..core import match_throughput
+from ..sim.metrics import format_table
+from ..workloads import PipelineConfig, build_perception_workload
+
+#: groups whose outbound traffic the paper plots (stages 1-3)
+_FIG9_SOURCES = ("FE_BFPN", "S_Q_PROJ", "S_KV_PROJ", "S_ATTN", "S_FFN",
+                 "T_Q_PROJ", "T_KV_PROJ", "T_ATTN", "T_FFN")
+
+
+def run(config: PipelineConfig | None = None) -> dict:
+    workload = build_perception_workload(config)
+    schedule = match_throughput(workload, simba_package())
+    edges = []
+    for e in schedule.nop_edges():
+        if e.src_group in _FIG9_SOURCES:
+            edges.append({
+                "src": e.src_group,
+                "dst": e.dst_group,
+                "payload_mb": round(e.payload_bytes / 1e6, 2),
+                "hops": round(e.hops, 1),
+                "latency_ms": round(e.latency_s * 1e3, 3),
+                "energy_mj": round(e.energy_j * 1e3, 3),
+            })
+    compute_ms = schedule.e2e_latency_s * 1e3 - schedule.nop_latency_s * 1e3
+    total_nop_ms = sum(e["latency_ms"] for e in edges)
+    return {
+        "edges": edges,
+        "total_nop_latency_ms": round(total_nop_ms, 2),
+        "compute_latency_ms": round(compute_ms, 1),
+        # The paper's conclusion: NoP costs sit >= 2 orders of magnitude
+        # below compute costs.
+        "compute_to_nop_ratio": round(compute_ms / max(total_nop_ms, 1e-9),
+                                      1),
+    }
+
+
+def render(result: dict | None = None) -> str:
+    result = result or run()
+    parts = [format_table(result["edges"], "Fig. 9: NoP transfers")]
+    parts.append(
+        f"total NoP latency: {result['total_nop_latency_ms']} ms; "
+        f"compute latency: {result['compute_latency_ms']} ms; "
+        f"ratio {result['compute_to_nop_ratio']}x")
+    return "\n".join(parts)

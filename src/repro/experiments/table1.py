@@ -1,0 +1,53 @@
+"""Experiment table1: heterogeneous trunk integration (Table I)."""
+
+from __future__ import annotations
+
+from ..core import TrunkDSE
+from ..cost import chain_latency_s, shidiannao_chiplet
+from ..sim.metrics import format_table
+from ..workloads import build_perception_workload
+
+
+def run(l_cstr_s: float | None = None) -> dict:
+    if l_cstr_s is None:
+        workload = build_perception_workload()
+        fe = workload.stage("FE_BFPN").groups[0]
+        l_cstr_s = 1.05 * chain_latency_s(fe.layers, shidiannao_chiplet())
+    dse = TrunkDSE(l_cstr_s=l_cstr_s)
+    configs = dse.table()
+    base = configs[0]  # OS-only column
+    rows = []
+    for cfg in configs:
+        rows.append({
+            "config": cfg.label,
+            "e2e_ms": round(cfg.e2e_ms, 1),
+            "pipe_ms": round(cfg.pipe_ms, 1),
+            "energy_j": round(cfg.energy_j, 4),
+            "edp_j_ms": round(cfg.edp_j_ms, 2),
+            "d_energy_pct": round((cfg.energy_j / base.energy_j - 1) * 100,
+                                  1),
+            "d_edp_pct": round((cfg.edp_j_ms / base.edp_j_ms - 1) * 100, 1),
+            "feasible": cfg.feasible,
+            "alloc": {m: f"{n}x{s}" for m, (n, s) in cfg.alloc.items()},
+        })
+    det_os = base.model_energy_j["DET_TR"]
+    het2 = next(c for c in configs if c.label == "Het(2)")
+    det_het = het2.model_energy_j["DET_TR"]
+    return {
+        "l_cstr_ms": round(l_cstr_s * 1e3, 1),
+        "rows": rows,
+        # The paper reports DET_TR independently achieving a 35% energy
+        # reduction once the WS chiplets take it over.
+        "det_energy_reduction_pct": round((1 - det_het / det_os) * 100, 1),
+    }
+
+
+def render(result: dict | None = None) -> str:
+    result = result or run()
+    flat = [{k: (str(v) if k == "alloc" else v) for k, v in r.items()}
+            for r in result["rows"]]
+    parts = [format_table(flat, "Table I: heterogeneous trunk integration")]
+    parts.append(
+        f"L_cstr = {result['l_cstr_ms']} ms; DET_TR energy reduction on WS "
+        f"chiplets: {result['det_energy_reduction_pct']}% (paper: 35%)")
+    return "\n".join(parts)

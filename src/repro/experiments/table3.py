@@ -1,0 +1,53 @@
+"""Experiment table3: occupancy trunk upsampling scaling (Table III).
+
+E2E latency is the whole occupancy chain on one chiplet; pipe latency is
+the maximum single layer (the trunk internally pipelined at layer
+granularity, which is how the paper's pipe column behaves).  The paper's
+observation: latency grows superlinearly with each added 2x upsampling
+stage and the final stage contributes ~75%.
+"""
+
+from __future__ import annotations
+
+from ..cost import chain_latency_s, evaluate, shidiannao_chiplet
+from ..sim.metrics import format_table
+from ..workloads import build_occupancy_layers
+
+#: upsampling factors ablated by the paper
+FACTORS = (1, 2, 3, 4)  # 2x, 4x, 8x, 16x
+
+
+def run() -> dict:
+    accel = shidiannao_chiplet()
+    rows = []
+    base_e2e = base_pipe = None
+    for stages in FACTORS:
+        layers = build_occupancy_layers(upsample_stages=stages)
+        e2e = chain_latency_s(layers, accel) * 1e3
+        pipe = max(evaluate(l, accel).latency_s for l in layers) * 1e3
+        if base_e2e is None:
+            base_e2e, base_pipe = e2e, pipe
+        rows.append({
+            "upsampling": f"[{2 ** stages}X,{2 ** stages}Y]",
+            "e2e_ms": round(e2e, 2),
+            "e2e_ratio": round(e2e / base_e2e, 2),
+            "pipe_ms": round(pipe, 2),
+            "pipe_ratio": round(pipe / base_pipe, 2),
+        })
+    full = build_occupancy_layers(upsample_stages=4)
+    costs = [evaluate(l, accel).latency_s for l in full]
+    last_deconv = costs[-2]  # final deconv sits before the semantic head
+    return {
+        "rows": rows,
+        "final_stage_share_pct": round(100 * last_deconv / sum(costs), 1),
+    }
+
+
+def render(result: dict | None = None) -> str:
+    result = result or run()
+    parts = [format_table(result["rows"],
+                          "Table III: occupancy upsampling scaling")]
+    parts.append(
+        f"final upsampling layer share: {result['final_stage_share_pct']}% "
+        f"(paper: ~75%)")
+    return "\n".join(parts)

@@ -1,0 +1,21 @@
+"""Serialization and report generation."""
+
+from .report import generate_report
+from .serialize import (
+    group_to_dict,
+    layer_to_dict,
+    plan_to_dict,
+    save_schedule,
+    schedule_to_dict,
+    workload_to_dict,
+)
+
+__all__ = [
+    "generate_report",
+    "group_to_dict",
+    "layer_to_dict",
+    "plan_to_dict",
+    "save_schedule",
+    "schedule_to_dict",
+    "workload_to_dict",
+]

@@ -1,0 +1,26 @@
+"""Pipeline performance simulation: MCM schedules and baseline engines."""
+
+from .baselines import (
+    LAYERWISE,
+    STAGEWISE,
+    baseline_arrangements,
+    run_baselines,
+    simulate_engines,
+)
+from .metrics import PerfReport, format_table
+from .stream import FrameRecord, StreamResult, StreamSimulator, \
+    stream_validate
+
+__all__ = [
+    "FrameRecord",
+    "StreamResult",
+    "StreamSimulator",
+    "stream_validate",
+    "LAYERWISE",
+    "STAGEWISE",
+    "baseline_arrangements",
+    "run_baselines",
+    "simulate_engines",
+    "PerfReport",
+    "format_table",
+]

@@ -1,0 +1,174 @@
+"""Baseline NPU executors for the paper's Table II comparison.
+
+The baselines run the same perception workload on conventional accelerator
+arrangements with the *same total PE count* as the 36-chiplet MCM:
+
+* one monolithic die with 9,216 PEs,
+* two dies with 4,608 PEs each,
+* four dies with 2,304 PEs each.
+
+Each die is one *execution engine*: it executes one layer group instance at
+a time with its native dataflow (the fixed 16x16 tile — see
+``repro.cost.accelerator``), so extra PEs on a big die do not accelerate a
+single layer.  Parallelism across engines comes from the pipelining scheme:
+
+* **stagewise** — perception stages are assigned whole to engines
+  (balanced by load); an input flows engine to engine.
+* **layerwise** — group instances are list-scheduled greedily onto the
+  earliest-free engine, letting independent instances (8 FE models,
+  camera/frame shards) overlap.
+
+Both schemes respect group dependencies.  Reported metrics mirror the
+paper: E2E latency of one frame, steady-state pipelining latency (busiest
+engine), energy per frame, and PE utilization (useful MACs over all PE
+cycles in one pipe window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cost import AcceleratorConfig, chain_energy_j, chain_latency_s, \
+    monolithic
+from ..workloads.graph import LayerGroup, PerceptionWorkload
+from ..workloads.pipeline import build_perception_workload
+from .metrics import PerfReport
+
+STAGEWISE = "stagewise"
+LAYERWISE = "layerwise"
+_SCHEMES = (STAGEWISE, LAYERWISE)
+
+
+@dataclass(frozen=True)
+class _Task:
+    """One group instance: the unit of baseline scheduling."""
+
+    group: LayerGroup
+    instance: int
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.group.name, self.instance)
+
+
+def _build_tasks(workload: PerceptionWorkload):
+    """Tasks plus group-level dependency map (incl. stage chaining)."""
+    tasks: list[_Task] = []
+    deps: dict[str, list[str]] = {}
+    prev_terminals: list[str] = []
+    for stage in workload.stages:
+        dependents = {d for g in stage.groups for d in g.depends_on}
+        sources = [g.name for g in stage.groups if not g.depends_on]
+        for group in stage.topo_order():
+            tasks.extend(_Task(group, i) for i in range(group.instances))
+            group_deps = list(group.depends_on)
+            if group.name in sources and prev_terminals:
+                group_deps.extend(prev_terminals)
+            deps[group.name] = group_deps
+        prev_terminals = [g.name for g in stage.groups
+                          if g.name not in dependents]
+    return tasks, deps
+
+
+def _stage_assignment(workload: PerceptionWorkload, n_engines: int,
+                      accel: AcceleratorConfig) -> dict[str, int]:
+    """Balanced stage-to-engine map (longest-processing-time greedy)."""
+    loads = []
+    for stage in workload.stages:
+        total = sum(chain_latency_s(g.layers, accel) * g.instances
+                    for g in stage.groups)
+        loads.append((total, stage.name))
+    loads.sort(reverse=True)
+    engine_load = [0.0] * n_engines
+    assignment: dict[str, int] = {}
+    for load, name in loads:
+        idx = min(range(n_engines), key=lambda i: engine_load[i])
+        assignment[name] = idx
+        engine_load[idx] += load
+    return assignment
+
+
+def simulate_engines(workload: PerceptionWorkload,
+                     engines: list[AcceleratorConfig],
+                     scheme: str,
+                     label: str | None = None) -> PerfReport:
+    """List-schedule the workload over ``engines`` and report metrics."""
+    if scheme not in _SCHEMES:
+        raise ValueError(f"unknown pipelining scheme {scheme!r}")
+    if not engines:
+        raise ValueError("at least one engine required")
+
+    tasks, deps = _build_tasks(workload)
+    durations = {g.name: {e: chain_latency_s(g.layers, eng)
+                          for e, eng in enumerate(engines)}
+                 for g in workload.all_groups()}
+
+    stage_map = (_stage_assignment(workload, len(engines), engines[0])
+                 if scheme == STAGEWISE else {})
+
+    engine_free = [0.0] * len(engines)
+    engine_busy = [0.0] * len(engines)
+    group_finish: dict[str, float] = {}
+    task_finish: dict[tuple[str, int], float] = {}
+
+    for task in tasks:
+        g = task.group
+        ready = max((group_finish.get(d, 0.0) for d in deps[g.name]),
+                    default=0.0)
+        if scheme == STAGEWISE:
+            engine = stage_map[g.stage]
+        else:
+            engine = min(range(len(engines)),
+                         key=lambda e: (max(engine_free[e], ready),
+                                        durations[g.name][e]))
+        start = max(engine_free[engine], ready)
+        duration = durations[g.name][engine]
+        finish = start + duration
+        engine_free[engine] = finish
+        engine_busy[engine] += duration
+        task_finish[task.key] = finish
+        group_finish[g.name] = max(group_finish.get(g.name, 0.0), finish)
+
+    e2e = max(task_finish.values())
+    pipe = max(engine_busy)
+    energy = 0.0
+    # Energy is engine-independent across homogeneous baseline dies; price
+    # each group on engine 0's configuration.
+    for g in workload.all_groups():
+        energy += chain_energy_j(g.layers, engines[0]) * g.instances
+
+    total_pes = sum(e.pe_count for e in engines)
+    freq = engines[0].frequency_hz
+    utilization = workload.total_macs / (total_pes * pipe * freq)
+    return PerfReport(
+        label=label or f"{len(engines)}x{engines[0].pe_count}-{scheme}",
+        e2e_s=e2e,
+        pipe_s=pipe,
+        energy_j=energy,
+        utilization=utilization,
+    )
+
+
+def baseline_arrangements(total_pes: int = 9216,
+                          dataflow: str = "os") -> dict[str, list]:
+    """The paper's Table II die arrangements for a fixed PE budget."""
+    return {
+        f"1x{total_pes}": [monolithic(total_pes, dataflow)],
+        f"2x{total_pes // 2}": [monolithic(total_pes // 2, dataflow)] * 2,
+        f"4x{total_pes // 4}": [monolithic(total_pes // 4, dataflow)] * 4,
+    }
+
+
+def run_baselines(workload: PerceptionWorkload | None = None,
+                  schemes: tuple[str, ...] = (STAGEWISE, LAYERWISE),
+                  total_pes: int = 9216,
+                  dataflow: str = "os") -> list[PerfReport]:
+    """All baseline rows of Table II (the 36x256 row comes from the MCM)."""
+    workload = workload or build_perception_workload()
+    reports = []
+    for scheme in schemes:
+        for name, engines in baseline_arrangements(total_pes,
+                                                   dataflow).items():
+            reports.append(simulate_engines(
+                workload, engines, scheme, label=f"{name}-{scheme}"))
+    return reports

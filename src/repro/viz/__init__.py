@@ -1,0 +1,13 @@
+"""Terminal visualization: mesh floorplans, bar charts, step plots."""
+
+from .charts import hbar_chart, sparkline, step_plot
+from .floorplan import chiplet_labels, render_floorplan, render_quadrant
+
+__all__ = [
+    "hbar_chart",
+    "sparkline",
+    "step_plot",
+    "chiplet_labels",
+    "render_floorplan",
+    "render_quadrant",
+]

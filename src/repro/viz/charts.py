@@ -1,0 +1,51 @@
+"""Terminal bar charts and step plots for the experiment outputs.
+
+Pure-text rendering (no plotting dependencies): horizontal bars for the
+breakdown/NoP/context figures and a step plot for the Fig. 10 sharding
+trace.
+"""
+
+from __future__ import annotations
+
+
+def hbar_chart(items: list[tuple[str, float]], title: str = "",
+               width: int = 50, unit: str = "") -> str:
+    """Horizontal bar chart: one row per (label, value)."""
+    if not items:
+        return "(empty chart)"
+    peak = max(value for _, value in items)
+    label_w = max(len(label) for label, _ in items)
+    lines = [title] if title else []
+    for label, value in items:
+        bar = "#" * (round(width * value / peak) if peak > 0 else 0)
+        lines.append(f"{label.ljust(label_w)} |{bar.ljust(width)}| "
+                     f"{value:,.2f}{unit}")
+    return "\n".join(lines)
+
+
+def step_plot(points: list[tuple[str, float]], title: str = "",
+              width: int = 50, unit: str = "ms") -> str:
+    """Monotone step plot (Fig. 10 style): value after each labelled step."""
+    if not points:
+        return "(empty plot)"
+    peak = max(v for _, v in points)
+    label_w = max(len(label) for label, _ in points)
+    lines = [title] if title else []
+    for label, value in points:
+        pos = round(width * value / peak) if peak > 0 else 0
+        track = "." * max(0, pos - 1) + "o"
+        lines.append(f"{label.ljust(label_w)} |{track.ljust(width)}| "
+                     f"{value:,.1f} {unit}")
+    return "\n".join(lines)
+
+
+def sparkline(values: list[float]) -> str:
+    """Compact one-line trend (used in summaries)."""
+    if not values:
+        return ""
+    glyphs = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return glyphs[0] * len(values)
+    scale = (len(glyphs) - 1) / (hi - lo)
+    return "".join(glyphs[round((v - lo) * scale)] for v in values)

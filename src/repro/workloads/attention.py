@@ -1,0 +1,42 @@
+"""Building blocks for the transformer attention modules.
+
+The paper decomposes every attention module into three blocks that its
+scheduler treats as sharding units (Sec. II-B, Fig. 4): QKV projection,
+attention core (two matrix multiplications around a softmax), and the
+feed-forward network.  These helpers emit the corresponding layers.
+"""
+
+from __future__ import annotations
+
+from .layers import Layer, dense, matmul, softmax
+
+
+def projection(name: str, tokens_hw: tuple[int, int], d_out: int, d_in: int,
+               **tags) -> Layer:
+    """A Q/K/V linear projection over a token plane."""
+    return dense(name, tokens_hw, d_out, d_in, **tags)
+
+
+def attention_core(prefix: str, tokens_hw: tuple[int, int], window: int,
+                   d_model: int, **tags) -> list[Layer]:
+    """Scores + softmax + context for windowed attention.
+
+    Each query token attends to ``window`` keys (the paper's fusion modules
+    gather a bounded candidate set per grid cell rather than full
+    quadratic attention, which would dwarf every other latency in the
+    pipeline).
+    """
+    return [
+        matmul(f"{prefix}.scores", tokens_hw, window, d_model, **tags),
+        softmax(f"{prefix}.softmax", tokens_hw, window, **tags),
+        matmul(f"{prefix}.context", tokens_hw, d_model, window, **tags),
+    ]
+
+
+def ffn(prefix: str, tokens_hw: tuple[int, int], d_model: int, hidden: int,
+        **tags) -> list[Layer]:
+    """Two-layer feed-forward network over a token plane."""
+    return [
+        dense(f"{prefix}.ffn1", tokens_hw, hidden, d_model, **tags),
+        dense(f"{prefix}.ffn2", tokens_hw, d_model, hidden, **tags),
+    ]

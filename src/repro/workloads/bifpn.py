@@ -1,0 +1,71 @@
+"""Bidirectional Feature Pyramid Network (BiFPN) blocks.
+
+Stage 1 of the paper passes each camera's multiscale ResNet features through
+two BiFPN blocks (EfficientDet-style) and fuses the result into the
+per-camera 20x80x256 output of Fig. 2.  Fusion nodes use depthwise-separable
+convolutions, matching EfficientDet's design.
+"""
+
+from __future__ import annotations
+
+from .layers import Layer, concat, conv, dwconv, eltwise, pool
+from .resnet import FE_FEATURE_TAPS
+
+#: Channel width of every BiFPN node.
+BIFPN_CHANNELS = 256
+
+
+def _fusion_node(name: str, out_hw: tuple[int, int], **tags) -> list[Layer]:
+    """One BiFPN fusion node: weighted add + separable conv."""
+    return [
+        eltwise(f"{name}.fuse", out_hw, BIFPN_CHANNELS, **tags),
+        dwconv(f"{name}.dw", out_hw, BIFPN_CHANNELS, r=3, **tags),
+        conv(f"{name}.pw", out_hw, BIFPN_CHANNELS, BIFPN_CHANNELS, r=1,
+             **tags),
+    ]
+
+
+def build_lateral_convs(**tags) -> list[Layer]:
+    """1x1 projections of the FE taps to the BiFPN channel width."""
+    return [
+        conv(f"lateral.{tap}", hw, BIFPN_CHANNELS, c, r=1, **tags)
+        for tap, c, hw in FE_FEATURE_TAPS
+    ]
+
+
+def build_bifpn_block(index: int, **tags) -> list[Layer]:
+    """One BiFPN block: top-down then bottom-up passes over P3..P6."""
+    planes = {tap: hw for tap, _, hw in FE_FEATURE_TAPS}
+    prefix = f"bifpn{index}"
+    layers: list[Layer] = []
+    # Top-down: P5', P4', P3out.
+    for tap in ("P5", "P4", "P3"):
+        layers += _fusion_node(f"{prefix}.td.{tap}", planes[tap], **tags)
+    # Bottom-up: P4out, P5out, P6out.
+    for tap in ("P4", "P5", "P6"):
+        layers += _fusion_node(f"{prefix}.bu.{tap}", planes[tap], **tags)
+    return layers
+
+
+def build_output_head(out_hw: tuple[int, int] = (20, 80),
+                      out_channels: int = 256, **tags) -> list[Layer]:
+    """Pool the pyramid onto the per-camera token grid and fuse scales."""
+    n_scales = len(FE_FEATURE_TAPS)
+    return [
+        pool("head.pool", out_hw, BIFPN_CHANNELS * n_scales, r=3, stride=2,
+             **tags),
+        concat("head.concat", out_hw, BIFPN_CHANNELS * n_scales, **tags),
+        conv("head.fuse", out_hw, out_channels, BIFPN_CHANNELS * n_scales,
+             r=1, **tags),
+    ]
+
+
+def build_fe_bfpn(fe_layers: list[Layer], n_blocks: int = 2,
+                  **tags) -> list[Layer]:
+    """Full per-camera Stage-1 chain: FE + laterals + BiFPN + output head."""
+    layers = list(fe_layers)
+    layers += build_lateral_convs(**tags)
+    for i in range(n_blocks):
+        layers += build_bifpn_block(i, **tags)
+    layers += build_output_head(**tags)
+    return layers

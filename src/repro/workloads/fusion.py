@@ -1,0 +1,144 @@
+"""Spatial (S_FUSE) and temporal (T_FUSE) fusion stages.
+
+Stage 2 fuses the 8 camera feature sets onto a shared BEV attention grid
+(the paper's Sec. IV-B works on the 200x80x256 grid); Stage 3 fuses the
+current grid with a queue of N=12 previous representations.  Both are
+transformer modules decomposed into QKV projection / attention / FFN groups
+— the units the paper's scheduler shards (Figs. 6 and 7).
+
+Camera-indexed work (K/V projections, the spatial FFN the paper shards
+"per two FE+BFPNs") carries ``instances=8``; frame-indexed work in T_FUSE
+carries ``instances=12`` ("each temporal frame is processed independently
+on a separate chiplet" is the paper's sharding exhaustion point).
+"""
+
+from __future__ import annotations
+
+from .attention import attention_core, ffn, projection
+from .graph import LayerGroup, Stage
+from .layers import dense, move, pool
+
+
+def build_spatial_fusion(grid: tuple[int, int] = (200, 80),
+                         cameras: int = 8,
+                         d_model: int = 384,
+                         d_in: int = 384,
+                         window: int = 800,
+                         ffn_hidden: int = 1152) -> Stage:
+    """Stage 2: multi-camera spatial fusion transformer.
+
+    ``d_in`` is the per-token input width: 256 camera feature channels
+    concatenated with 128 ray/positional encoding channels (a standard
+    camera-to-BEV lifting practice; the paper's text gives only the 256
+    feature channels).
+    """
+    stage = Stage("S_FUSE")
+    tags = {"stage": "S_FUSE"}
+
+    stage.add(LayerGroup(
+        name="S_LIFT",
+        layers=(move("s_lift", grid, 256, group="S_LIFT", **tags),),
+        stage="S_FUSE",
+        instances=cameras,
+        instance_axis="camera",
+    ))
+    stage.add(LayerGroup(
+        name="S_Q_PROJ",
+        layers=(projection("s_q_proj", grid, d_model, d_in,
+                           group="S_QKV", **tags),),
+        stage="S_FUSE",
+    ))
+    stage.add(LayerGroup(
+        name="S_KV_PROJ",
+        layers=(
+            projection("s_k_proj", grid, d_model, d_in, group="S_QKV",
+                       **tags),
+            projection("s_v_proj", grid, d_model, d_in, group="S_QKV",
+                       **tags),
+        ),
+        stage="S_FUSE",
+        instances=cameras,
+        instance_axis="camera",
+        depends_on=("S_LIFT",),
+    ))
+    stage.add(LayerGroup(
+        name="S_ATTN",
+        layers=tuple(attention_core("s_attn", grid, window, d_model,
+                                    group="S_ATTN", **tags)),
+        stage="S_FUSE",
+        depends_on=("S_Q_PROJ", "S_KV_PROJ"),
+    ))
+    stage.add(LayerGroup(
+        name="S_FFN",
+        layers=tuple(ffn("s", grid, d_model, ffn_hidden, group="S_FFN",
+                         **tags)),
+        stage="S_FUSE",
+        instances=cameras,
+        instance_axis="camera",
+        depends_on=("S_ATTN",),
+    ))
+    return stage
+
+
+def build_temporal_fusion(grid: tuple[int, int] = (200, 80),
+                          frames: int = 12,
+                          d_model: int = 384,
+                          window_per_frame: int = 120,
+                          ffn_hidden: int = 1536,
+                          token_grid: tuple[int, int] = (20, 80),
+                          out_channels: int = 300) -> Stage:
+    """Stage 3: temporal fusion over an N-frame feature queue.
+
+    The fused output is pooled and projected to the paper's
+    ``1 x 20 x 80 x 300`` trunk input tensor.
+    """
+    stage = Stage("T_FUSE")
+    tags = {"stage": "T_FUSE"}
+
+    stage.add(LayerGroup(
+        name="T_Q_PROJ",
+        layers=(projection("t_q_proj", grid, d_model, d_model,
+                           group="T_QKV", **tags),),
+        stage="T_FUSE",
+    ))
+    stage.add(LayerGroup(
+        name="T_KV_PROJ",
+        layers=(
+            projection("t_k_proj", grid, d_model, d_model, group="T_QKV",
+                       **tags),
+            projection("t_v_proj", grid, d_model, d_model, group="T_QKV",
+                       **tags),
+        ),
+        stage="T_FUSE",
+        instances=frames,
+        instance_axis="frame",
+    ))
+    stage.add(LayerGroup(
+        name="T_ATTN",
+        layers=tuple(attention_core("t_attn", grid,
+                                    window_per_frame * frames, d_model,
+                                    group="T_ATTN", **tags)),
+        stage="T_FUSE",
+        depends_on=("T_Q_PROJ", "T_KV_PROJ"),
+    ))
+    stage.add(LayerGroup(
+        name="T_FFN",
+        layers=tuple(ffn("t", grid, d_model, ffn_hidden, group="T_FFN",
+                         **tags)),
+        stage="T_FUSE",
+        instances=frames,
+        instance_axis="frame",
+        depends_on=("T_ATTN",),
+    ))
+    stage.add(LayerGroup(
+        name="T_POOL",
+        layers=(
+            pool("t_pool", token_grid, d_model, r=3, stride=2,
+                 group="T_POOL", **tags),
+            dense("t_out_proj", token_grid, out_channels, d_model,
+                  group="T_POOL", **tags),
+        ),
+        stage="T_FUSE",
+        depends_on=("T_FFN",),
+    ))
+    return stage

@@ -1,0 +1,75 @@
+"""ResNet-18 feature extractor (FE) for one camera stream.
+
+The paper (Sec. II-B, Stage 1) specifies a ResNet-18 per camera producing
+four multiscale features on the 90x160 / 45x80 / 23x40 / 12x20 grid sequence
+of a 720x1280 input.  We implement the standard ResNet-18 topology (stem +
+four 2-block stages, channels 64/128/256/512) with the stem striding by 4 so
+stage outputs land exactly on the paper's grids, plus an extra stride-2 P6
+convolution for the 12x20 scale.
+"""
+
+from __future__ import annotations
+
+from .layers import Layer, conv, eltwise
+
+#: (stage name, channels, output plane) for the four residual stages.
+RESNET18_STAGES = (
+    ("layer1", 64, (180, 320)),
+    ("layer2", 128, (90, 160)),
+    ("layer3", 256, (45, 80)),
+    ("layer4", 512, (23, 40)),
+)
+
+#: Multiscale taps fed to the BiFPN: (tap name, channels, plane).
+FE_FEATURE_TAPS = (
+    ("P3", 128, (90, 160)),
+    ("P4", 256, (45, 80)),
+    ("P5", 512, (23, 40)),
+    ("P6", 512, (12, 20)),
+)
+
+
+def _basic_block(prefix: str, out_hw: tuple[int, int], k: int, c_in: int,
+                 stride: int, **tags) -> list[Layer]:
+    """One ResNet basic block (two 3x3 convs + shortcut add)."""
+    layers = [
+        conv(f"{prefix}.conv1", out_hw, k, c_in, r=3, stride=stride, **tags),
+        conv(f"{prefix}.conv2", out_hw, k, k, r=3, stride=1, **tags),
+    ]
+    if stride != 1 or c_in != k:
+        layers.append(
+            conv(f"{prefix}.downsample", out_hw, k, c_in, r=1,
+                 stride=stride, **tags))
+    layers.append(eltwise(f"{prefix}.add", out_hw, k, **tags))
+    return layers
+
+
+def build_resnet18_fe(input_hw: tuple[int, int] = (720, 1280),
+                      **tags) -> list[Layer]:
+    """Layer chain of the per-camera ResNet-18 feature extractor.
+
+    ``input_hw`` scales every plane proportionally; the default is the
+    paper's 720p camera resolution.
+    """
+    sh, sw = input_hw[0] // 720, input_hw[1] // 1280
+    if input_hw[0] % 720 or input_hw[1] % 1280:
+        # Non-multiple resolutions are allowed: planes scale by ratio.
+        sh = input_hw[0] / 720
+        sw = input_hw[1] / 1280
+
+    def plane(base: tuple[int, int]) -> tuple[int, int]:
+        return max(1, round(base[0] * sh)), max(1, round(base[1] * sw))
+
+    layers: list[Layer] = [
+        conv("stem.conv", plane((180, 320)), 64, 3, r=7, stride=4, **tags),
+    ]
+    c_in = 64
+    for name, k, out_hw in RESNET18_STAGES:
+        hw = plane(out_hw)
+        stride = 1 if name == "layer1" else 2
+        layers += _basic_block(f"{name}.block1", hw, k, c_in, stride, **tags)
+        layers += _basic_block(f"{name}.block2", hw, k, k, 1, **tags)
+        c_in = k
+    layers.append(
+        conv("p6.conv", plane((12, 20)), 512, 512, r=3, stride=2, **tags))
+    return layers

@@ -1,0 +1,144 @@
+"""Stage 4 trunks and heads: occupancy, lane prediction, detection.
+
+All trunks consume the pooled ``20 x 80 x 300`` spatio-temporal grid
+(Sec. II-B, Stage 4):
+
+* **Occupancy network** — channel projection followed by four stride-2
+  deconvolutions (16x upscale to 320x1280) and a semantic head.  Table III
+  ablates the number of upsampling stages.
+* **Lane prediction** — three levels of self-attention over grid queries,
+  cross-attention to the camera tokens, FFN, and a per-level classifier.
+  Context-aware computing (Fig. 11) prunes the *query* regions to a
+  retained fraction; quadratic self-attention terms scale with the square
+  of that fraction, cross/FFN terms linearly, and the camera-token K/V
+  projection is unaffected.
+* **Detection** — three independent heads (traffic / vehicle / pedestrian),
+  each with class and box prediction networks of three convolutions plus a
+  per-cell predictor.
+"""
+
+from __future__ import annotations
+
+from .attention import attention_core, ffn, projection
+from .graph import LayerGroup, Stage
+from .layers import Layer, conv, deconv, dense
+
+
+def build_occupancy_layers(token_grid: tuple[int, int] = (20, 80),
+                           in_channels: int = 300,
+                           channels: int = 90,
+                           upsample_stages: int = 4,
+                           semantic_classes: int = 18) -> list[Layer]:
+    """Occupancy trunk layer chain with ``upsample_stages`` 2x deconvs."""
+    if not 1 <= upsample_stages <= 6:
+        raise ValueError("upsample_stages must be in [1, 6]")
+    tags = {"stage": "TRUNKS", "group": "OCC_TR"}
+    h, w = token_grid
+    layers: list[Layer] = [
+        dense("occ.proj", token_grid, channels, in_channels, **tags)]
+    for i in range(1, upsample_stages + 1):
+        h, w = h * 2, w * 2
+        layers.append(
+            deconv(f"occ.deconv{i}", (h, w), channels, channels, r=3,
+                   stride=2, **tags))
+    layers.append(
+        conv("occ.head", (h, w), semantic_classes, channels, r=1, **tags))
+    return layers
+
+
+def build_lane_layers(token_grid: tuple[int, int] = (20, 80),
+                      cameras: int = 8,
+                      d_model: int = 352,
+                      in_channels: int = 300,
+                      levels: int = 3,
+                      ffn_hidden: int = 1024,
+                      context_fraction: float = 1.0) -> list[Layer]:
+    """Lane prediction trunk with context-aware query pruning."""
+    if not 0.0 < context_fraction <= 1.0:
+        raise ValueError("context_fraction must be in (0, 1]")
+    tags = {"stage": "TRUNKS", "group": "LANE_TR"}
+    h, w = token_grid
+    # Lane queries are a point *set* (one query per retained grid cell),
+    # not an image plane: they fold flat across the PE array, so pruning
+    # regions scales the work near-linearly (Fig. 11).
+    n_queries = max(1, round(h * w * context_fraction))
+    q_plane = (1, n_queries)
+    cam_plane = (token_grid[0] * cameras, token_grid[1])
+    n_cam_tokens = cam_plane[0] * cam_plane[1]
+
+    layers: list[Layer] = [
+        dense("lane.in_proj", q_plane, d_model, in_channels, **tags)]
+    for lvl in range(1, levels + 1):
+        p = f"lane.lvl{lvl}"
+        # Self-attention among the retained queries (quadratic in f).
+        layers.append(
+            projection(f"{p}.self_qkv", q_plane, 3 * d_model, d_model,
+                       **tags))
+        layers += attention_core(f"{p}.self", q_plane, n_queries, d_model,
+                                 **tags)
+        # Cross-attention from queries to the (unpruned) camera tokens.
+        layers.append(
+            projection(f"{p}.cross_q", q_plane, d_model, d_model, **tags))
+        layers.append(
+            projection(f"{p}.cross_kv", cam_plane, 2 * d_model, d_model,
+                       **tags))
+        layers += attention_core(f"{p}.cross", q_plane, n_cam_tokens,
+                                 d_model, **tags)
+        layers += ffn(p, q_plane, d_model, ffn_hidden, **tags)
+        layers.append(
+            dense(f"{p}.classifier", q_plane, 64, d_model, **tags))
+    return layers
+
+
+def build_detection_layers(token_grid: tuple[int, int] = (20, 80),
+                           in_channels: int = 300,
+                           channels: int = 256) -> list[Layer]:
+    """One detection head: class + box networks of 3 convs and predictors."""
+    tags = {"stage": "TRUNKS", "group": "DET_TR"}
+    layers: list[Layer] = []
+    for net, preds in (("cls", 24), ("box", 16)):
+        layers.append(conv(f"det.{net}.conv1", token_grid, channels,
+                           in_channels, r=3, **tags))
+        layers.append(conv(f"det.{net}.conv2", token_grid, channels,
+                           channels, r=3, **tags))
+        layers.append(conv(f"det.{net}.conv3", token_grid, channels,
+                           channels, r=3, **tags))
+        layers.append(dense(f"det.{net}.pred", token_grid, preds, channels,
+                            **tags))
+    return layers
+
+
+def build_trunks(token_grid: tuple[int, int] = (20, 80),
+                 cameras: int = 8,
+                 in_channels: int = 300,
+                 occ_channels: int = 90,
+                 occ_stages: int = 4,
+                 lane_levels: int = 3,
+                 lane_d: int = 352,
+                 lane_context: float = 0.6,
+                 det_heads: int = 3) -> Stage:
+    """Stage 4: the three trunk groups (independent branches)."""
+    stage = Stage("TRUNKS")
+    stage.add(LayerGroup(
+        name="OCC_TR",
+        layers=tuple(build_occupancy_layers(
+            token_grid, in_channels, occ_channels, occ_stages)),
+        stage="TRUNKS",
+        pipeline_splittable=True,
+    ))
+    stage.add(LayerGroup(
+        name="LANE_TR",
+        layers=tuple(build_lane_layers(
+            token_grid, cameras, lane_d, in_channels, lane_levels,
+            context_fraction=lane_context)),
+        stage="TRUNKS",
+        pipeline_splittable=True,
+    ))
+    stage.add(LayerGroup(
+        name="DET_TR",
+        layers=tuple(build_detection_layers(token_grid, in_channels)),
+        stage="TRUNKS",
+        instances=det_heads,
+        instance_axis="model",
+    ))
+    return stage

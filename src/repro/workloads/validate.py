@@ -1,0 +1,134 @@
+"""Workload validation: structural diagnostics for layer graphs.
+
+Catches authoring mistakes before they silently skew the cost analysis:
+channel-width discontinuities inside a serial chain, dangling group
+dependencies, shard-axis declarations that cannot hold, and stage wiring
+that the scheduler's quadrant allocation cannot place.
+
+``validate_workload`` returns a list of :class:`Diagnostic` records; an
+empty list means the workload is well-formed.  ``check_workload`` raises
+on any error-severity finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import LayerGroup, PerceptionWorkload
+from .layers import LayerKind
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One validation finding."""
+
+    severity: str
+    location: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.location}: {self.message}"
+
+
+class WorkloadValidationError(ValueError):
+    """Raised by :func:`check_workload` when errors are present."""
+
+    def __init__(self, diagnostics: list[Diagnostic]):
+        self.diagnostics = diagnostics
+        lines = "\n".join(str(d) for d in diagnostics)
+        super().__init__(f"workload validation failed:\n{lines}")
+
+
+#: layer kinds whose output channel count feeds the next layer's reduction
+_CHANNEL_PRODUCERS = frozenset({
+    LayerKind.CONV, LayerKind.DWCONV, LayerKind.DECONV, LayerKind.DENSE,
+})
+_CHANNEL_CONSUMERS = frozenset({
+    LayerKind.CONV, LayerKind.DECONV, LayerKind.DENSE,
+})
+
+
+def _check_chain(group: LayerGroup) -> list[Diagnostic]:
+    """Channel continuity along a serial layer chain.
+
+    Attention matmuls (activation x activation) and vector ops legally
+    break the weight-channel flow, so the check tracks the most recent
+    channel-producing layer and only compares consumer reductions against
+    it.
+    """
+    findings: list[Diagnostic] = []
+    last_channels: int | None = None
+    last_name = ""
+    for layer in group.layers:
+        if (layer.kind in _CHANNEL_CONSUMERS
+                and not layer.weights_are_activations
+                and last_channels is not None
+                and layer.c != last_channels):
+            findings.append(Diagnostic(
+                WARNING, f"{group.name}/{layer.name}",
+                f"reduction width {layer.c} does not match the {last_name} "
+                f"output width {last_channels} (concat/residual inputs "
+                f"must account for the difference)"))
+        if layer.kind in _CHANNEL_PRODUCERS and \
+                not layer.weights_are_activations:
+            last_channels = layer.k
+            last_name = layer.name
+        elif layer.kind is LayerKind.CONCAT:
+            last_channels = layer.k
+            last_name = layer.name
+        elif layer.kind is LayerKind.MATMUL:
+            last_channels = layer.k
+            last_name = layer.name
+    return findings
+
+
+def _check_group(group: LayerGroup) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    if group.row_shardable and group.instances == 1:
+        narrow = min(l.out_h if l.out_h > 1 else l.out_w
+                     for l in group.layers)
+        if narrow < 2:
+            findings.append(Diagnostic(
+                WARNING, group.name,
+                "declared row-shardable but the narrowest layer has a "
+                "single row/token"))
+    if group.pipeline_splittable and len(group.layers) < 2:
+        findings.append(Diagnostic(
+            ERROR, group.name,
+            "declared pipeline-splittable with fewer than 2 layers"))
+    return findings
+
+
+def validate_workload(workload: PerceptionWorkload) -> list[Diagnostic]:
+    """Collect all structural findings for a workload."""
+    findings: list[Diagnostic] = []
+    for stage in workload.stages:
+        names = {g.name for g in stage.groups}
+        for group in stage.groups:
+            for dep in group.depends_on:
+                if dep not in names:
+                    findings.append(Diagnostic(
+                        ERROR, f"{stage.name}/{group.name}",
+                        f"depends on unknown group {dep!r}"))
+            findings.extend(_check_group(group))
+            findings.extend(_check_chain(group))
+        try:
+            stage.topo_order()
+        except ValueError as exc:
+            findings.append(Diagnostic(ERROR, stage.name, str(exc)))
+    if len(workload.stages) > 4:
+        findings.append(Diagnostic(
+            ERROR, "workload",
+            "more than 4 stages cannot map onto the quadrant allocation"))
+    return findings
+
+
+def check_workload(workload: PerceptionWorkload) -> None:
+    """Raise :class:`WorkloadValidationError` on error-level findings."""
+    findings = [d for d in validate_workload(workload)
+                if d.severity == ERROR]
+    if findings:
+        raise WorkloadValidationError(findings)

@@ -1,0 +1,36 @@
+"""Shared fixtures: accelerators, workloads, and schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import simba_package
+from repro.core import match_throughput
+from repro.cost import nvdla_chiplet, shidiannao_chiplet
+from repro.workloads import build_perception_workload
+
+
+@pytest.fixture(scope="session")
+def os_accel():
+    return shidiannao_chiplet()
+
+
+@pytest.fixture(scope="session")
+def ws_accel():
+    return nvdla_chiplet()
+
+
+@pytest.fixture(scope="session")
+def workload():
+    return build_perception_workload()
+
+
+@pytest.fixture(scope="session")
+def schedule36():
+    return match_throughput(build_perception_workload(), simba_package())
+
+
+@pytest.fixture(scope="session")
+def schedule72():
+    return match_throughput(build_perception_workload(),
+                            simba_package(npus=2))

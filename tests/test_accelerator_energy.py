@@ -1,0 +1,65 @@
+"""Unit tests for accelerator configs and energy tables."""
+
+import pytest
+
+from repro.cost import (
+    ENERGY_28NM,
+    AcceleratorConfig,
+    EnergyTable,
+    monolithic,
+    nvdla_chiplet,
+    shidiannao_chiplet,
+    simba_chiplet,
+)
+
+
+class TestEnergyTable:
+    def test_nop_word_energy(self):
+        table = EnergyTable(nop_pj_bit=2.04)
+        assert table.nop_pj_word == pytest.approx(2.04 * 16)
+
+    def test_scaled_uniform(self):
+        half = ENERGY_28NM.scaled(0.5)
+        assert half.mac_pj == pytest.approx(ENERGY_28NM.mac_pj * 0.5)
+        assert half.dram_pj_word == pytest.approx(
+            ENERGY_28NM.dram_pj_word * 0.5)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ENERGY_28NM.scaled(0)
+
+
+class TestAcceleratorConfig:
+    def test_simba_chiplet_matches_paper_setup(self):
+        accel = simba_chiplet()
+        assert accel.pe_count == 256  # Sec. III: 256 PEs per chiplet
+        assert accel.frequency_hz == 2.0e9  # Sec. III: 2 GHz
+        assert accel.native_tile == (16, 16)
+
+    def test_peak_throughput(self):
+        accel = simba_chiplet()
+        assert accel.peak_macs_per_s == 256 * 2.0e9
+
+    def test_dataflow_presets(self):
+        assert shidiannao_chiplet().dataflow == "os"
+        assert nvdla_chiplet().dataflow == "ws"
+
+    def test_with_dataflow_swaps_style(self):
+        ws = shidiannao_chiplet().with_dataflow("ws")
+        assert ws.dataflow == "ws"
+
+    def test_unknown_dataflow_rejected(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(name="x", pe_count=256, dataflow="systolic")
+
+    def test_pe_count_must_cover_native_tile(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(name="x", pe_count=64)
+
+    def test_monolithic_scales_buffer_and_port(self):
+        big = monolithic(9216)
+        assert big.pe_count == 9216
+        assert big.gb_words_per_cycle == 32 * 36
+        assert big.gb_bytes == 2 * 1024 * 1024 * 36
+        # Native dataflow tile does NOT scale — the paper's baseline story.
+        assert big.native_tile == (16, 16)

@@ -1,0 +1,64 @@
+"""Tests for the breakdown and affinity analyses (Figs. 3-4 machinery)."""
+
+import pytest
+
+from repro.analysis import (
+    affinity_blocks,
+    component_breakdown,
+    fusion_latency_share,
+)
+
+
+class TestBreakdown:
+    def test_shares_sum_to_one(self, workload, os_accel):
+        rows = component_breakdown(workload, os_accel)
+        assert sum(r.latency_share for r in rows) == pytest.approx(1.0)
+        assert sum(r.energy_share for r in rows) == pytest.approx(1.0)
+
+    def test_fusion_modules_are_the_bottleneck(self, workload, os_accel):
+        # Paper Sec. III-A: S_FUSE 25-28%, T_FUSE 52-54% of latency.
+        shares = fusion_latency_share(component_breakdown(workload,
+                                                          os_accel))
+        assert 0.20 < shares["S_FUSE"] < 0.33
+        assert 0.42 < shares["T_FUSE"] < 0.60
+
+    def test_all_components_present(self, workload, os_accel):
+        rows = component_breakdown(workload, os_accel)
+        labels = {r.component for r in rows}
+        assert {"FE+BFPN", "S_QKV", "S_ATTN", "S_FFN", "T_QKV", "T_ATTN",
+                "T_FFN", "OCC_TR", "LANE_TR", "DET_TR"} == labels
+
+    def test_os_latencies_below_ws(self, workload, os_accel, ws_accel):
+        os_rows = {r.component: r for r in
+                   component_breakdown(workload, os_accel)}
+        ws_rows = {r.component: r for r in
+                   component_breakdown(workload, ws_accel)}
+        for label, row in os_rows.items():
+            assert row.latency_ms < ws_rows[label].latency_ms
+
+
+class TestAffinity:
+    def test_panels_cover_paper_blocks(self, workload):
+        panels = affinity_blocks(workload)
+        assert set(panels) == {"FE+BFPN", "S+T Attn Fusion", "Trunks"}
+
+    def test_fusion_layers_fully_os_affine(self, workload):
+        # Paper Fig. 4: negative deltas for every fusion layer in both
+        # latency and energy.
+        rows = affinity_blocks(workload)["S+T Attn Fusion"]
+        assert rows, "fusion panel must not be empty"
+        assert all(r.delta_latency_ms < 0 for r in rows)
+        assert all(r.delta_energy_mj < 0 for r in rows)
+
+    def test_fe_shows_latency_energy_tradeoff(self, workload):
+        # Paper Fig. 4: FE+BFPN trades latency (OS) against energy (WS).
+        rows = affinity_blocks(workload)["FE+BFPN"]
+        os_latency = sum(r.delta_latency_ms < 0 for r in rows) / len(rows)
+        ws_energy = sum(r.delta_energy_mj > 0 for r in rows) / len(rows)
+        assert os_latency > 0.5
+        assert ws_energy > 0.5
+
+    def test_compute_only_filter(self, workload):
+        with_vec = affinity_blocks(workload, compute_only=False)
+        without = affinity_blocks(workload, compute_only=True)
+        assert (len(with_vec["FE+BFPN"]) > len(without["FE+BFPN"]))

@@ -1,0 +1,97 @@
+"""Tests for the baseline engine simulator (Table II machinery)."""
+
+import pytest
+
+from repro.cost import chain_latency_s, monolithic
+from repro.sim import (
+    LAYERWISE,
+    STAGEWISE,
+    baseline_arrangements,
+    run_baselines,
+    simulate_engines,
+)
+
+
+class TestArrangements:
+    def test_paper_pe_budgets(self):
+        arr = baseline_arrangements()
+        assert set(arr) == {"1x9216", "2x4608", "4x2304"}
+        for engines in arr.values():
+            assert sum(e.pe_count for e in engines) == 9216
+
+
+class TestSingleEngine:
+    def test_e2e_equals_pipe_equals_serial_sum(self, workload):
+        engines = [monolithic(9216)]
+        report = simulate_engines(workload, engines, STAGEWISE)
+        serial = sum(chain_latency_s(g.layers, engines[0]) * g.instances
+                     for g in workload.all_groups())
+        assert report.e2e_s == pytest.approx(serial)
+        assert report.pipe_s == pytest.approx(serial)
+
+    def test_monolithic_e2e_matches_paper_band(self, workload):
+        report = simulate_engines(workload, [monolithic(9216)], STAGEWISE)
+        assert 1.6 < report.e2e_s < 2.1  # paper: 1.8 s
+
+    def test_schemes_identical_on_one_engine(self, workload):
+        engines = [monolithic(9216)]
+        a = simulate_engines(workload, engines, STAGEWISE)
+        b = simulate_engines(workload, engines, LAYERWISE)
+        assert a.e2e_s == pytest.approx(b.e2e_s)
+
+
+class TestMultiEngine:
+    def test_more_engines_never_hurt_pipe(self, workload):
+        pipes = []
+        for name, engines in baseline_arrangements().items():
+            pipes.append(simulate_engines(workload, engines,
+                                          LAYERWISE).pipe_s)
+        assert pipes[0] >= pipes[1] >= pipes[2]
+
+    def test_layerwise_beats_stagewise_e2e(self, workload):
+        engines = baseline_arrangements()["4x2304"]
+        sw = simulate_engines(workload, engines, STAGEWISE)
+        lw = simulate_engines(workload, engines, LAYERWISE)
+        assert lw.e2e_s <= sw.e2e_s
+
+    def test_dependencies_respected(self, workload):
+        # E2E can never go below the longest dependent chain (one FE model
+        # followed by the serial fusion path), however many engines exist.
+        engines = [monolithic(2304)] * 4
+        report = simulate_engines(workload, engines, LAYERWISE)
+        accel = engines[0]
+        fe = workload.find_group("FE_BFPN")
+        chain = chain_latency_s(fe.layers, accel)
+        for name in ("S_KV_PROJ", "S_ATTN", "S_FFN", "T_ATTN", "T_FFN"):
+            g = workload.find_group(name)
+            chain += chain_latency_s(g.layers, accel)
+        assert report.e2e_s >= chain - 1e-9
+
+    def test_energy_independent_of_engine_count(self, workload):
+        reports = {name: simulate_engines(workload, engines, STAGEWISE)
+                   for name, engines in baseline_arrangements().items()}
+        energies = [r.energy_j for r in reports.values()]
+        assert max(energies) == pytest.approx(min(energies))
+
+    def test_utilization_improves_with_smaller_dies(self, workload):
+        reports = [simulate_engines(workload, engines, LAYERWISE)
+                   for engines in baseline_arrangements().values()]
+        assert (reports[0].utilization < reports[1].utilization
+                < reports[2].utilization)
+
+
+class TestValidation:
+    def test_unknown_scheme_rejected(self, workload):
+        with pytest.raises(ValueError):
+            simulate_engines(workload, [monolithic(9216)], "pipelined")
+
+    def test_empty_engine_list_rejected(self, workload):
+        with pytest.raises(ValueError):
+            simulate_engines(workload, [], STAGEWISE)
+
+    def test_run_baselines_rows(self, workload):
+        reports = run_baselines(workload)
+        assert len(reports) == 6  # 3 arrangements x 2 schemes
+        labels = {r.label for r in reports}
+        assert "1x9216-stagewise" in labels
+        assert "4x2304-layerwise" in labels

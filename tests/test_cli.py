@@ -1,0 +1,25 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table3_renders(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "[16X,16Y]" in out
+
+    def test_json_output_parses(self, capsys):
+        assert main(["fig11", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "fig11" in payload
+        assert payload["fig11"]["points"]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,80 @@
+"""Tests for the trunk DSE (Table I) and context-aware lane computing."""
+
+import pytest
+
+from repro.core import TrunkDSE, lane_context_sweep, min_feasible_fraction
+
+
+@pytest.fixture(scope="module")
+def dse_table():
+    return TrunkDSE().table()
+
+
+class TestTrunkDSE:
+    def test_table_order_and_labels(self, dse_table):
+        assert [c.label for c in dse_table] == ["OS", "WS", "Het(2)",
+                                                "Het(4)"]
+
+    def test_os_config_feasible(self, dse_table):
+        assert dse_table[0].feasible
+
+    def test_ws_only_violates_latency_constraint(self, dse_table):
+        # Paper Table I: the WS column blows E2E up ~6.6x (605.7 ms).
+        ws = dse_table[1]
+        assert not ws.feasible
+        assert ws.e2e_ms > 4 * dse_table[0].e2e_ms
+
+    def test_het_reduces_energy_at_same_e2e(self, dse_table):
+        os_cfg, het2, het4 = dse_table[0], dse_table[2], dse_table[3]
+        assert het2.energy_j < os_cfg.energy_j
+        assert het4.energy_j < os_cfg.energy_j
+        assert het2.e2e_ms == pytest.approx(os_cfg.e2e_ms, rel=0.02)
+
+    def test_het_improves_edp(self, dse_table):
+        assert dse_table[2].edp_j_ms < dse_table[0].edp_j_ms
+
+    def test_ws_chiplets_take_the_detection_trunk(self, dse_table):
+        # Paper: "the WS chiplets are predominantly assigned to the
+        # DET_TR layers".
+        het2 = dse_table[2]
+        assert het2.alloc["DET_TR"][1] == "ws"
+        assert het2.alloc["LANE_TR"][1] == "os"
+
+    def test_det_energy_reduction_on_ws(self, dse_table):
+        os_det = dse_table[0].model_energy_j["DET_TR"]
+        het_det = dse_table[2].model_energy_j["DET_TR"]
+        assert 0.10 < 1 - het_det / os_det < 0.45  # paper: 35%
+
+    def test_ws_budget_validation(self):
+        with pytest.raises(ValueError):
+            TrunkDSE().search(10)
+
+    def test_free_sharding_ablation_improves_pipe(self):
+        constrained = TrunkDSE().search(0)
+        free = TrunkDSE(allow_sharding=True).search(0)
+        assert free.pipe_ms <= constrained.pipe_ms
+
+
+class TestLaneContext:
+    def test_latency_monotone_in_context(self):
+        points = lane_context_sweep()
+        lats = [p.latency_ms for p in points]  # fractions descend
+        assert all(a >= b - 1e-9 for a, b in zip(lats, lats[1:]))
+
+    def test_energy_monotone_in_context(self):
+        points = lane_context_sweep()
+        energies = [p.energy_j for p in points]
+        assert all(a >= b - 1e-12 for a, b in zip(energies, energies[1:]))
+
+    def test_full_context_violates_constraint(self):
+        points = lane_context_sweep()
+        assert not points[0].meets_constraint  # f = 1.0
+
+    def test_crossover_near_sixty_percent(self):
+        # Paper: "Around 60% computing satisfies the latency constraint."
+        frac = min_feasible_fraction(lane_context_sweep())
+        assert 0.5 <= frac <= 0.75
+
+    def test_custom_threshold_shifts_crossover(self):
+        generous = lane_context_sweep(threshold_s=1.0)
+        assert min_feasible_fraction(generous) == 1.0

@@ -1,0 +1,65 @@
+"""Tests for serialization and report generation."""
+
+import json
+
+import pytest
+
+from repro.io import (
+    generate_report,
+    group_to_dict,
+    layer_to_dict,
+    save_schedule,
+    schedule_to_dict,
+    workload_to_dict,
+)
+from repro.workloads import conv
+
+
+class TestSerialization:
+    def test_layer_round_trips_through_json(self):
+        payload = layer_to_dict(conv("c", (90, 160), 128, 64, r=3,
+                                     stride=2))
+        restored = json.loads(json.dumps(payload))
+        assert restored["kind"] == "conv"
+        assert restored["macs"] == 90 * 160 * 128 * 64 * 9
+
+    def test_group_dict_fields(self, workload):
+        payload = group_to_dict(workload.find_group("T_FFN"))
+        assert payload["instances"] == 12
+        assert payload["instance_axis"] == "frame"
+        assert len(payload["layers"]) == 2
+
+    def test_workload_dict_covers_all_stages(self, workload):
+        payload = workload_to_dict(workload)
+        assert [s["name"] for s in payload["stages"]] == [
+            "FE_BFPN", "S_FUSE", "T_FUSE", "TRUNKS"]
+        assert payload["total_macs"] == workload.total_macs
+
+    def test_schedule_dict_is_json_safe(self, schedule36):
+        payload = schedule_to_dict(schedule36)
+        text = json.dumps(payload)
+        restored = json.loads(text)
+        assert restored["package"]["total_pes"] == 9216
+        assert restored["groups"]["T_FFN"]["plan"]["n_chiplets"] == 6
+        assert restored["metrics"]["pipe_ms"] == pytest.approx(
+            schedule36.pipe_latency_s * 1e3)
+
+    def test_schedule_dict_trace_matches(self, schedule36):
+        payload = schedule_to_dict(schedule36)
+        assert len(payload["trace"]) == len(schedule36.trace)
+
+    def test_save_schedule_writes_file(self, schedule36, tmp_path):
+        out = tmp_path / "schedule.json"
+        save_schedule(schedule36, out)
+        restored = json.loads(out.read_text())
+        assert restored["tolerance"] == schedule36.tolerance
+
+
+class TestReport:
+    def test_report_contains_every_section(self, tmp_path):
+        out = tmp_path / "REPORT.md"
+        text = generate_report(out)
+        assert out.exists()
+        for section in ("fig3", "fig10", "table2", "table3"):
+            assert f"## {section}" in text
+        assert "Table II" in text

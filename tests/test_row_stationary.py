@@ -1,0 +1,65 @@
+"""Tests for the row-stationary dataflow extension."""
+
+import pytest
+
+from repro.cost import chain_energy_j, chain_latency_s, evaluate, map_layer
+from repro.cost.accelerator import eyeriss_chiplet, shidiannao_chiplet
+from repro.workloads import conv, dense, dwconv
+
+
+@pytest.fixture(scope="module")
+def rs_accel():
+    return eyeriss_chiplet()
+
+
+class TestRowStationaryMapping:
+    def test_preset(self, rs_accel):
+        assert rs_accel.dataflow == "rs"
+        assert rs_accel.pe_count == 256
+
+    def test_conv_cycles_comparable_to_os(self, rs_accel):
+        layer = conv("c", (180, 320), 64, 64, r=3)
+        rs = map_layer(layer, rs_accel)
+        os_cycles = map_layer(layer, shidiannao_chiplet()).compute_cycles
+        # Row folding wastes a little of the array; never better than OS.
+        assert os_cycles <= rs.compute_cycles <= 2 * os_cycles
+
+    def test_attention_degenerates_to_output_tiling(self, rs_accel):
+        layer = dense("d", (200, 80), 384, 384)
+        rs = map_layer(layer, rs_accel)
+        os_cycles = map_layer(layer, shidiannao_chiplet()).compute_cycles
+        assert rs.compute_cycles == os_cycles
+
+    def test_row_accumulation_traffic(self, rs_accel):
+        layer = conv("c", (90, 160), 128, 64, r=3)
+        rs = map_layer(layer, rs_accel)
+        assert rs.accum_words == 2 * layer.output_words * 2  # r - 1 = 2
+
+    def test_dwconv_supported(self, rs_accel):
+        layer = dwconv("dw", (90, 160), 256, r=3)
+        cost = evaluate(layer, rs_accel)
+        assert cost.cycles > 0
+        assert 0 < cost.engagement <= 1
+
+    def test_engagement_bounded(self, rs_accel):
+        for layer in (conv("c", (23, 40), 512, 256, r=3),
+                      dense("d", (1, 1600), 352, 300),
+                      conv("s", (12, 20), 64, 3, r=7, stride=4)):
+            m = map_layer(layer, rs_accel)
+            assert 0 < m.engagement <= 1
+
+
+class TestRowStationaryDominated:
+    def test_os_dominates_rs_on_perception(self, workload, rs_accel):
+        # The paper's premise for excluding other dataflow styles.
+        os_accel = shidiannao_chiplet()
+        lat_os = sum(chain_latency_s(g.layers, os_accel) * g.instances
+                     for g in workload.all_groups())
+        lat_rs = sum(chain_latency_s(g.layers, rs_accel) * g.instances
+                     for g in workload.all_groups())
+        e_os = sum(chain_energy_j(g.layers, os_accel) * g.instances
+                   for g in workload.all_groups())
+        e_rs = sum(chain_energy_j(g.layers, rs_accel) * g.instances
+                   for g in workload.all_groups())
+        assert lat_os < lat_rs
+        assert e_os <= e_rs

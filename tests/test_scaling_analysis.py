@@ -1,0 +1,40 @@
+"""Tests for the workload scaling sweeps."""
+
+from repro.analysis import camera_sweep, frame_queue_sweep, resolution_sweep
+
+
+class TestResolutionSweep:
+    def test_base_latency_monotone_in_resolution(self):
+        rows = resolution_sweep(((360, 640), (720, 1280)))
+        assert rows[0]["base_ms"] < rows[1]["base_ms"]
+
+    def test_low_resolution_moves_bottleneck_off_fe(self):
+        rows = resolution_sweep(((360, 640),))
+        # With a light FE, the fusion stages set the pipe latency.
+        assert rows[0]["pipe_ms"] > rows[0]["base_ms"]
+
+
+class TestCameraSweep:
+    def test_energy_scales_with_cameras(self):
+        rows = camera_sweep((4, 8))
+        assert rows[0]["energy_j"] < rows[1]["energy_j"]
+
+    def test_labels_present(self):
+        rows = camera_sweep((4,))
+        assert rows[0]["cameras"] == 4
+        assert "pipe_ms" in rows[0]
+
+
+class TestFrameQueueSweep:
+    def test_deep_queues_outgrow_the_quadrant(self):
+        rows = frame_queue_sweep((12, 24))
+        by = {r["t_frames"]: r for r in rows}
+        # At 12 frames the FE bounds the pipe; at 24 the T_FUSE quadrant
+        # runs out of sharding room and takes over the bottleneck.
+        assert by[12]["pipe_ms"] <= by[12]["base_ms"] + 1e-6
+        assert by[24]["pipe_ms"] > by[24]["base_ms"]
+
+    def test_energy_monotone_in_queue_depth(self):
+        rows = frame_queue_sweep((6, 12, 24))
+        energies = [r["energy_j"] for r in rows]
+        assert energies == sorted(energies)

@@ -1,0 +1,112 @@
+"""Property-based tests: scheduler invariants over random workloads.
+
+Hypothesis generates small random pipelines (random group latencies,
+instance counts, shardability flags) and checks that Algorithm 1 always
+produces a *valid* schedule: budgets hold, no chiplet is double-booked,
+sharding never makes the pipeline slower than the unsharded mapping, and
+the accounting identities between plans and the busy map are preserved.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import simba_package
+from repro.core import ThroughputMatcher
+from repro.workloads import dense
+from repro.workloads.graph import LayerGroup, PerceptionWorkload, Stage
+
+
+@st.composite
+def small_workloads(draw):
+    """A 2-4 stage pipeline of dense groups with random attributes."""
+    n_stages = draw(st.integers(min_value=2, max_value=4))
+    stages = []
+    for si in range(n_stages):
+        stage = Stage(f"ST{si}")
+        n_groups = draw(st.integers(min_value=1, max_value=3))
+        prev_name = None
+        for gi in range(n_groups):
+            rows = draw(st.sampled_from([16, 48, 160, 320]))
+            k = draw(st.sampled_from([64, 128, 256]))
+            instances = draw(st.sampled_from([1, 1, 2, 4, 8]))
+            layer = dense(f"st{si}g{gi}", (rows, 128), k, 128)
+            deps = (prev_name,) if (prev_name is not None
+                                    and draw(st.booleans())) else ()
+            name = f"G{si}_{gi}"
+            stage.add(LayerGroup(
+                name=name,
+                layers=(layer,),
+                stage=f"ST{si}",
+                instances=instances,
+                row_shardable=(instances == 1 and draw(st.booleans())),
+                depends_on=deps,
+            ))
+            prev_name = name
+        stages.append(stage)
+    return PerceptionWorkload(stages=stages)
+
+
+class TestMatcherInvariants:
+    @given(workload=small_workloads())
+    @settings(max_examples=25, deadline=None)
+    def test_schedule_is_always_valid(self, workload):
+        package = simba_package()
+        schedule = ThroughputMatcher(workload, package).run()
+
+        # 1. All groups scheduled.
+        assert set(schedule.groups) == {g.name
+                                        for g in workload.all_groups()}
+
+        # 2. No chiplet double-booked across non-colocated groups.
+        seen: set[int] = set()
+        for name, gs in schedule.groups.items():
+            if gs.host is not None:
+                continue
+            ids = set(gs.chiplet_ids)
+            assert not ids & seen
+            seen |= ids
+
+        # 3. Stage quadrant budgets hold.
+        for stage in workload.stages:
+            used = sum(schedule.groups[g.name].plan.n_chiplets
+                       for g in stage.groups
+                       if schedule.groups[g.name].host is None)
+            capacity = sum(package.quadrant_capacity(q)
+                           for q in schedule.stage_quadrants[stage.name])
+            assert used <= capacity
+
+        # 4. Accounting identity: busy map totals equal plan totals.
+        busy_total = sum(schedule.chiplet_busy().values())
+        plan_total = sum(
+            (gs.plan.span_s if gs.host is not None
+             else sum(gs.plan.per_chiplet_busy))
+            for gs in schedule.groups.values())
+        assert busy_total == plan_total or abs(
+            busy_total - plan_total) < 1e-9
+
+    @given(workload=small_workloads())
+    @settings(max_examples=25, deadline=None)
+    def test_sharding_never_hurts_pipe_latency(self, workload):
+        package = simba_package()
+        matcher = ThroughputMatcher(workload, package)
+        schedule = matcher.run()
+        # Unsharded reference: every group on one chiplet.  Colocated tiny
+        # groups legally stack on a host chiplet, so the bound allows one
+        # colocation threshold per hosted group.
+        from repro.core.sharding import plan_group
+        accel = package.chiplets[0].accel
+        unsharded = max(plan_group(g, 1, accel).pipe_latency_s
+                        for g in workload.all_groups())
+        hosted = sum(1 for gs in schedule.groups.values()
+                     if gs.host is not None)
+        slack = hosted * matcher.colocate_threshold_s
+        assert schedule.pipe_latency_s <= unsharded + slack + 1e-9
+
+    @given(workload=small_workloads())
+    @settings(max_examples=15, deadline=None)
+    def test_metrics_are_finite_and_ordered(self, workload):
+        schedule = ThroughputMatcher(workload, simba_package()).run()
+        assert 0 < schedule.pipe_latency_s < 10
+        assert schedule.e2e_latency_s >= schedule.pipe_latency_s - 1e-12
+        assert schedule.energy_j > 0
+        assert 0 < schedule.utilization <= 1

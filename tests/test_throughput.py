@@ -1,0 +1,98 @@
+"""Integration tests for Algorithm 1 (throughput matching)."""
+
+import pytest
+
+from repro.arch import simba_package
+from repro.core import ThroughputMatcher
+
+
+class TestScheduleShape36:
+    def test_pipe_latency_matches_base(self, schedule36):
+        # The FE stage defines Lat_base; nothing should exceed it after
+        # matching (FE itself cannot split within a 9-chiplet quadrant).
+        assert schedule36.pipe_latency_s == pytest.approx(
+            schedule36.base_latency_s)
+
+    def test_base_latency_band(self, schedule36):
+        assert 0.080 < schedule36.base_latency_s < 0.100  # paper: 82.7 ms
+
+    def test_quadrant_budgets_respected(self, schedule36):
+        for stage in schedule36.workload.stages:
+            used = set()
+            for g in stage.groups:
+                used.update(schedule36.chiplets_of(g.name))
+            capacity = sum(
+                schedule36.package.quadrant_capacity(q)
+                for q in schedule36.stage_quadrants[stage.name])
+            assert len(used) <= capacity
+
+    def test_chiplets_not_shared_across_groups(self, schedule36):
+        seen = {}
+        for name, gs in schedule36.groups.items():
+            if gs.host is not None:
+                continue
+            for cid in gs.chiplet_ids:
+                assert cid not in seen, f"{name} and {seen.get(cid)} share"
+                seen[cid] = name
+
+    def test_paper_shard_counts(self, schedule36):
+        # Fig. 6: spatial FFN four-folded; Fig. 7: temporal FFN across 6.
+        assert schedule36.groups["S_FFN"].plan.n_chiplets == 4
+        assert schedule36.groups["T_FFN"].plan.n_chiplets == 6
+        assert schedule36.groups["T_KV_PROJ"].plan.n_chiplets == 2
+
+    def test_tiny_groups_colocated(self, schedule36):
+        assert schedule36.groups["S_LIFT"].host == "S_KV_PROJ"
+        assert schedule36.groups["S_Q_PROJ"].host == "S_ATTN"
+        assert schedule36.groups["T_POOL"].host == "T_FFN"
+
+    def test_e2e_exceeds_pipe(self, schedule36):
+        assert schedule36.e2e_latency_s > schedule36.pipe_latency_s
+
+    def test_e2e_band(self, schedule36):
+        assert 0.40 < schedule36.e2e_latency_s < 0.55  # paper: 0.5 s
+
+    def test_utilization_band(self, schedule36):
+        assert 0.45 < schedule36.utilization < 0.62  # paper: 54.19%
+
+    def test_nop_well_below_compute(self, schedule36):
+        assert schedule36.nop_latency_s < 0.05 * schedule36.e2e_latency_s
+
+    def test_trace_records_all_phases(self, schedule36):
+        phases = {t.phase for t in schedule36.trace}
+        assert {"init", "match", "absorb"} <= phases
+
+    def test_summary_keys(self, schedule36):
+        summary = schedule36.summary()
+        for key in ("e2e_ms", "pipe_ms", "energy_j", "edp_j_ms",
+                    "utilization"):
+            assert key in summary
+
+
+class TestScheduleShape72:
+    def test_dual_npu_nearly_halves_pipe(self, schedule36, schedule72):
+        speedup = schedule36.pipe_latency_s / schedule72.pipe_latency_s
+        assert 1.7 < speedup < 2.3  # paper: 87 ms -> 41.1 ms (~2x)
+
+    def test_fe_pipeline_partitioned(self, schedule72):
+        fe = schedule72.groups["FE_BFPN"].plan
+        assert fe.mode == "pipeline"
+        assert fe.segments == 2  # paper: two equivalent FE partitions
+
+    def test_t_ffn_sharding_exhausted(self, schedule72):
+        # "each temporal frame is processed independently on a separate
+        # chiplet" — 12 chiplets for 12 frames.
+        assert schedule72.groups["T_FFN"].plan.n_chiplets == 12
+
+
+class TestMatcherValidation:
+    def test_tolerance_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputMatcher(tolerance=0.9)
+
+    def test_custom_tolerance_loosens_target(self):
+        tight = ThroughputMatcher(tolerance=1.0,
+                                  package=simba_package()).run()
+        loose = ThroughputMatcher(tolerance=1.3,
+                                  package=simba_package()).run()
+        assert loose.pipe_latency_s <= tight.pipe_latency_s * 1.3 + 1e-9

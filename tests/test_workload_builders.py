@@ -1,0 +1,133 @@
+"""Unit tests for the perception workload builders."""
+
+import pytest
+
+from repro.workloads import (
+    LayerKind,
+    PipelineConfig,
+    build_detection_layers,
+    build_lane_layers,
+    build_occupancy_layers,
+    build_perception_workload,
+)
+from repro.workloads.bifpn import build_fe_bfpn
+from repro.workloads.resnet import build_resnet18_fe
+
+
+class TestResNet:
+    def test_stage_planes_match_paper_grids(self):
+        layers = {l.name: l for l in build_resnet18_fe()}
+        assert (layers["layer2.block1.conv1"].out_h,
+                layers["layer2.block1.conv1"].out_w) == (90, 160)
+        assert (layers["layer3.block1.conv1"].out_h,
+                layers["layer3.block1.conv1"].out_w) == (45, 80)
+        assert (layers["layer4.block1.conv1"].out_h,
+                layers["layer4.block1.conv1"].out_w) == (23, 40)
+        assert (layers["p6.conv"].out_h, layers["p6.conv"].out_w) == (12, 20)
+
+    def test_channel_progression(self):
+        layers = {l.name: l for l in build_resnet18_fe()}
+        assert layers["layer1.block1.conv1"].k == 64
+        assert layers["layer4.block2.conv2"].k == 512
+
+    def test_downsample_only_on_transition_blocks(self):
+        names = [l.name for l in build_resnet18_fe()]
+        assert "layer2.block1.downsample" in names
+        assert "layer2.block2.downsample" not in names
+        assert "layer1.block1.downsample" not in names
+
+    def test_input_resolution_scales_planes(self):
+        half = {l.name: l for l in build_resnet18_fe((360, 640))}
+        assert (half["layer2.block1.conv1"].out_h,
+                half["layer2.block1.conv1"].out_w) == (45, 80)
+
+
+class TestFeBfpn:
+    def test_chain_ends_in_token_grid_output(self):
+        chain = build_fe_bfpn(build_resnet18_fe())
+        out = chain[-1]
+        assert (out.out_h, out.out_w) == (20, 80)
+        assert out.k == 256  # paper Fig. 2: per-camera 20x80x256
+
+    def test_bifpn_block_count_scales_chain(self):
+        one = build_fe_bfpn(build_resnet18_fe(), n_blocks=1)
+        two = build_fe_bfpn(build_resnet18_fe(), n_blocks=2)
+        assert len(two) > len(one)
+
+    def test_contains_separable_fusion_nodes(self):
+        chain = build_fe_bfpn(build_resnet18_fe())
+        kinds = {l.kind for l in chain}
+        assert LayerKind.DWCONV in kinds
+        assert LayerKind.POOL in kinds
+
+
+class TestTrunkBuilders:
+    def test_occupancy_upscale_chain(self):
+        layers = build_occupancy_layers(upsample_stages=4)
+        deconvs = [l for l in layers if l.kind is LayerKind.DECONV]
+        assert len(deconvs) == 4
+        assert (deconvs[-1].out_h, deconvs[-1].out_w) == (320, 1280)
+
+    def test_occupancy_stage_bounds(self):
+        with pytest.raises(ValueError):
+            build_occupancy_layers(upsample_stages=0)
+        with pytest.raises(ValueError):
+            build_occupancy_layers(upsample_stages=7)
+
+    def test_lane_levels_and_context(self):
+        full = build_lane_layers(context_fraction=1.0)
+        pruned = build_lane_layers(context_fraction=0.5)
+        assert len(full) == len(pruned)
+        total_full = sum(l.macs for l in full)
+        total_pruned = sum(l.macs for l in pruned)
+        assert total_pruned < 0.75 * total_full
+
+    def test_lane_context_validation(self):
+        with pytest.raises(ValueError):
+            build_lane_layers(context_fraction=0.0)
+
+    def test_detection_head_structure(self):
+        layers = build_detection_layers()
+        convs = [l for l in layers if l.kind is LayerKind.CONV]
+        assert len(convs) == 6  # 3 convs x (cls + box)
+
+
+class TestPipelineAssembly:
+    def test_default_config_matches_paper(self):
+        cfg = PipelineConfig()
+        assert cfg.cameras == 8
+        assert cfg.t_frames == 12
+        assert cfg.grid == (200, 80)
+        assert cfg.token_grid == (20, 80)
+
+    def test_fe_group_is_per_camera(self, workload):
+        fe = workload.find_group("FE_BFPN")
+        assert fe.instances == 8
+        assert fe.pipeline_splittable
+        assert not fe.row_shardable
+
+    def test_fusion_dependencies(self, workload):
+        s_attn = workload.find_group("S_ATTN")
+        assert set(s_attn.depends_on) == {"S_Q_PROJ", "S_KV_PROJ"}
+        t_pool = workload.find_group("T_POOL")
+        assert t_pool.depends_on == ("T_FFN",)
+
+    def test_trunk_input_channels_flow_from_t_pool(self, workload):
+        t_pool = workload.find_group("T_POOL")
+        assert t_pool.output_layer.k == 300  # paper: 1x20x80x300
+        occ = workload.find_group("OCC_TR")
+        assert occ.layers[0].c == 300
+
+    def test_config_overrides_propagate(self):
+        wl = build_perception_workload(
+            PipelineConfig(cameras=4, t_frames=6))
+        assert wl.find_group("FE_BFPN").instances == 4
+        assert wl.find_group("T_FFN").instances == 6
+
+    def test_lane_context_override(self):
+        lean = build_perception_workload(
+            PipelineConfig(lane_context=0.25))
+        full = build_perception_workload(
+            PipelineConfig(lane_context=1.0))
+        assert (lean.find_group("LANE_TR").macs_per_instance
+                < full.find_group("LANE_TR").macs_per_instance)
