@@ -1,0 +1,94 @@
+"""Benchmark: shared plan cache and the parallel scenario-sweep engine.
+
+Two claims are locked here:
+
+* a warm process-wide :class:`~repro.core.plancache.PlanCache` makes a
+  *fresh* ``TrunkDSE`` instance's ``table()`` at least 2x faster than the
+  cold path (pre-PR, each instance owned a private cache that died with
+  it, so every sweep scenario re-priced identical plans);
+* a >= 50-scenario :class:`~repro.sweep.ScenarioSweep` grid run in
+  parallel produces byte-identical serialized rows to the serial path.
+"""
+
+import json
+import os
+import time
+
+from conftest import save_artifact
+
+from repro.core import TrunkDSE, clear_plan_cache, plan_cache_stats
+from repro.cost import clear_cache
+from repro.sweep import ScenarioSweep, scenario_grid
+
+
+def _table_seconds() -> float:
+    start = time.perf_counter()
+    TrunkDSE(allow_sharding=True).table()
+    return time.perf_counter() - start
+
+
+def test_plan_cache_halves_trunk_table_time(benchmark, artifact_dir):
+    # Cold: both the layer-cost cache and the plan cache start empty, the
+    # state every fresh worker process (and the pre-PR code on every DSE
+    # instance) pays.  Best-of-3 on each side for timer stability.
+    cold_times = []
+    for _ in range(3):
+        clear_cache()
+        clear_plan_cache()
+        cold_times.append(_table_seconds())
+    cold = min(cold_times)
+    stats_cold = plan_cache_stats()
+
+    # Warm: fresh TrunkDSE instances served by the shared PlanCache.
+    warm = min(_table_seconds() for _ in range(3))
+    stats_warm = plan_cache_stats()
+    benchmark(_table_seconds)
+
+    save_artifact(
+        artifact_dir, "sweep_engine_plan_cache",
+        "\n".join([
+            "Shared PlanCache: TrunkDSE.table() cold vs warm",
+            f"cold_s  {cold:.4f}  (cache after: {stats_cold.to_dict()})",
+            f"warm_s  {warm:.4f}  (cache after: {stats_warm.to_dict()})",
+            f"speedup {cold / warm:.2f}x",
+        ]))
+    # Work-based invariants hold on any machine: the warm runs must be
+    # served entirely from the shared cache (no new plan computations).
+    assert stats_warm.hits > stats_cold.hits, "warm run never hit the cache"
+    assert stats_warm.misses == stats_cold.misses, (
+        "warm TrunkDSE instances recomputed plans behind the cache")
+    # The wall-clock ratio is asserted strictly by default; CI shared
+    # runners set SWEEP_BENCH_STRICT=0 because load noise can eat the
+    # margin there — the ratio still lands in the uploaded artifact.
+    if os.environ.get("SWEEP_BENCH_STRICT", "1") != "0":
+        assert cold >= 2.0 * warm, (
+            f"shared plan cache bought only {cold / warm:.2f}x "
+            f"(cold {cold * 1e3:.2f} ms, warm {warm * 1e3:.2f} ms)")
+
+
+def test_parallel_sweep_matches_serial(benchmark, artifact_dir):
+    grid = scenario_grid(
+        tolerances=(1.0, 1.05, 1.2),
+        nop_gbps=(None, 50.0),
+        npus=(1, 2),
+        workloads=("default", "quad-camera"),
+        het_ws_budgets=(None, 2, 4),
+    )
+    assert len(grid) >= 50
+
+    serial = ScenarioSweep(grid, workers=1).run()
+    parallel = benchmark.pedantic(
+        lambda: ScenarioSweep(grid, workers=4).run(),
+        rounds=1, iterations=1)
+
+    assert serial.rows_json() == parallel.rows_json()
+    stats = parallel.summary()["plan_cache"]
+    save_artifact(
+        artifact_dir, "sweep_engine_parallel",
+        "\n".join([
+            f"Scenario sweep determinism ({len(grid)} scenarios)",
+            "serial rows sha == parallel rows sha: True",
+            f"plan cache (parallel run): {json.dumps(stats)}",
+        ]))
+    # The shared cache must be doing real work across the grid.
+    assert stats["hits"] > stats["misses"]

@@ -6,6 +6,18 @@ Examples::
     chiplet-npu fig10           # dual-NPU scaling trace
     chiplet-npu all             # every experiment
     python -m repro.cli fig3
+
+Scenario sweeps (the ``sweep`` subcommand) fan a grid of scheduler runs
+across worker processes and merge the results deterministically::
+
+    chiplet-npu sweep --tolerances 1.0,1.05,1.2 --npus 1,2 --workers 4
+    chiplet-npu sweep --nop-gbps 25,50,100 --workloads default,hires \\
+        --het-budgets none,2,4 --json --output results/sweep.json
+
+Axes are comma-separated lists; ``none`` keeps an axis at its default
+(``--nop-gbps none`` = 100 GB/s, ``--het-budgets none`` = skip the trunk
+DSE).  The report includes the shared plan-cache hit/miss statistics, so
+cache-effectiveness regressions are visible alongside the metrics.
 """
 
 from __future__ import annotations
@@ -17,23 +29,139 @@ import sys
 from .experiments import ALL_EXPERIMENTS
 
 
+def _sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="chiplet-npu sweep",
+        description="Run a scenario grid (tolerance x NoP bandwidth x "
+                    "package size x workload x het budget) across worker "
+                    "processes with deterministic result merging.")
+    parser.add_argument("--tolerances", default="1.05",
+                        help="comma-separated tolerance coefficients")
+    parser.add_argument("--nop-gbps", default="none",
+                        help="comma-separated NoP bandwidths in GB/s "
+                             "('none' = default 100)")
+    parser.add_argument("--npus", default="1",
+                        help="comma-separated NPU module counts")
+    parser.add_argument("--workloads", default="default",
+                        help="comma-separated workload variant names")
+    parser.add_argument("--het-budgets", default="none",
+                        help="comma-separated WS chiplet budgets for the "
+                             "trunk DSE ('none' = skip)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (1 = serial)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit structured JSON instead of a table")
+    parser.add_argument("--output", default=None,
+                        help="also write the full sweep JSON to this file")
+    return parser
+
+
+def _run_sweep(argv: list[str]) -> int:
+    from .io import save_sweep
+    from .sim.metrics import format_table
+    from .sweep import ScenarioSweep, parse_axis, scenario_grid
+
+    parser = _sweep_parser()
+    args = parser.parse_args(argv)
+    try:
+        grid = scenario_grid(
+            tolerances=parse_axis(args.tolerances, float),
+            nop_gbps=parse_axis(args.nop_gbps, float),
+            npus=parse_axis(args.npus, int),
+            workloads=parse_axis(args.workloads, str),
+            het_ws_budgets=parse_axis(args.het_budgets, int),
+        )
+        sweep = ScenarioSweep(grid, workers=args.workers)
+    except (ValueError, KeyError) as exc:
+        # str(KeyError) wraps the message in repr quotes; unwrap it.
+        parser.error(exc.args[0] if exc.args else str(exc))
+    try:
+        result = sweep.run()
+    except ValueError as exc:
+        # e.g. a het budget larger than a scenario's trunk quadrant.
+        parser.error(str(exc))
+
+    if args.output:
+        import pathlib
+        pathlib.Path(args.output).parent.mkdir(parents=True, exist_ok=True)
+        save_sweep(result, args.output)
+
+    if args.json:
+        # Same serialization as save_sweep, so stdout and --output (and
+        # rows_json, the determinism contract) are byte-comparable.
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+
+    # format_table derives headers from the first row, so the trunk
+    # column must appear in every row once any scenario ran the DSE.
+    has_trunk = any("trunk_edp_j_ms" in r for r in result.rows)
+    display = []
+    for row in result.rows:
+        shown = {
+            "tol": row["tolerance"],
+            "nop": row["nop_gbps"] or "def",
+            "npus": row["npus"],
+            "workload": row["workload"],
+            "het": "-" if row["het_ws_budget"] is None
+                   else row["het_ws_budget"],
+            "pipe_ms": round(row["pipe_ms"], 2),
+            "e2e_ms": round(row["e2e_ms"], 1),
+            "energy_j": round(row["energy_j"], 3),
+            "util_pct": round(row["utilization"] * 100, 1),
+            "chiplets": row["used_chiplets"],
+        }
+        if has_trunk:
+            shown["trunk_edp"] = (round(row["trunk_edp_j_ms"], 2)
+                                  if "trunk_edp_j_ms" in row else "-")
+        display.append(shown)
+    print(format_table(display,
+                       f"Scenario sweep ({len(result.rows)} scenarios, "
+                       f"workers={result.workers})"))
+    cache = result.summary()["plan_cache"]
+    print(f"plan cache: {cache['hits']} hits / {cache['misses']} misses "
+          f"({100 * cache['hit_rate']:.1f}% hit rate, "
+          f"{cache['entries']} entries)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "sweep":
+        # Dispatch before the main parser so `sweep --help` (and any
+        # sweep flag) reaches the sweep parser.  The parse_known_args
+        # fallback below additionally tolerates the *shared* flags
+        # (--json/--output) before the subcommand; sweep-specific flags
+        # must follow `sweep`.
+        return _run_sweep(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="chiplet-npu",
         description="Reproduce the multi-chiplet NPU perception study "
                     "(DATE 2025).")
     parser.add_argument(
         "experiment",
-        choices=sorted(ALL_EXPERIMENTS) + ["all", "report"],
+        choices=sorted(ALL_EXPERIMENTS) + ["all", "report", "sweep"],
         help="paper artifact to regenerate ('report' writes a full "
-             "markdown reproduction report)")
+             "markdown reproduction report; 'sweep' runs a scenario "
+             "grid, see 'chiplet-npu sweep --help')")
     parser.add_argument(
         "--json", action="store_true",
         help="emit structured JSON instead of tables")
     parser.add_argument(
         "--output", default=None,
         help="file to write ('report' defaults to results/REPORT.md)")
-    args = parser.parse_args(argv)
+    args, rest = parser.parse_known_args(argv)
+
+    if args.experiment == "sweep":
+        # Shared flags placed before the subcommand (--json sweep ...):
+        # re-emit them plus any trailing sweep flags from ``rest`` so the
+        # sweep parser sees one canonical command line.
+        extra = ["--json"] if args.json else []
+        if args.output:
+            extra += ["--output", args.output]
+        return _run_sweep(extra + rest)
+    if rest:
+        parser.error(f"unrecognized arguments: {' '.join(rest)}")
 
     if args.experiment == "report":
         from .io import generate_report

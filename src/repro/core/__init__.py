@@ -9,6 +9,13 @@ from .context import (
 from .dse import TrunkConfig, TrunkDSE
 from .hetero import HeterogeneousResult, schedule_heterogeneous
 from .placement import default_stage_quadrants, place
+from .plancache import (
+    CacheStats,
+    PlanCache,
+    clear_plan_cache,
+    get_plan_cache,
+    plan_cache_stats,
+)
 from .schedule import GroupSchedule, NoPEdge, Schedule, TraceStep
 from .sharding import (
     MODE_INSTANCES,
@@ -32,6 +39,11 @@ __all__ = [
     "TrunkDSE",
     "HeterogeneousResult",
     "schedule_heterogeneous",
+    "CacheStats",
+    "PlanCache",
+    "clear_plan_cache",
+    "get_plan_cache",
+    "plan_cache_stats",
     "default_stage_quadrants",
     "place",
     "GroupSchedule",

@@ -66,17 +66,23 @@ class TrunkDSE:
         #: count is bounded by its independent instances.  Set
         #: ``allow_sharding=True`` for the free-form ablation.
         self.allow_sharding = allow_sharding
-        self._plan_cache: dict = {}
+        #: name-keyed view over the process-wide PlanCache: structural
+        #: (group, n, accel) hashing happens once per distinct key here,
+        #: the brute-force loops below then pay only a string-tuple lookup.
+        self._plan_view: dict[tuple[str, int, str], GroupPlan | None] = {}
 
     # ------------------------------------------------------------------
 
     def _plan(self, group_name: str, n: int, style: str) -> GroupPlan | None:
+        # plan_group memoizes through the process-wide PlanCache, so
+        # identical (group, n, accel) candidates are priced once across
+        # all TrunkDSE instances and sweep scenarios in this process.
         key = (group_name, n, style)
-        if key not in self._plan_cache:
+        if key not in self._plan_view:
             group = self.stage.group(group_name)
             accel = self.os_accel if style == "os" else self.ws_accel
-            self._plan_cache[key] = plan_group(group, n, accel)
-        return self._plan_cache[key]
+            self._plan_view[key] = plan_group(group, n, accel)
+        return self._plan_view[key]
 
     def _partitions(self):
         """All chiplet count assignments (each model >= 1, total <= budget)."""
@@ -135,6 +141,32 @@ class TrunkDSE:
             feasible=pipe <= self.l_cstr_s,
         )
 
+    def _rank(self, counts: dict, styles: dict) -> tuple | None:
+        """Cheap ranking key for one candidate (no TrunkConfig built).
+
+        Feasible candidates rank as ``(0, edp_j_ms, pipe_ms)``, infeasible
+        as ``(1, pipe_ms)`` — the same ordering (including first-seen tie
+        breaking via strict comparison) the full-object search used, at a
+        fraction of the per-candidate cost.  This loop is where ``table()``
+        spends its time, so candidates are scored with plain arithmetic
+        and only the winner is materialized.
+        """
+        pipe = 0.0
+        e2e = 0.0
+        energy = 0.0
+        for name, n in counts.items():
+            plan = self._plan(name, n, styles[name])
+            if plan is None:
+                return None
+            if plan.pipe_latency_s > pipe:
+                pipe = plan.pipe_latency_s
+            if plan.span_s > e2e:
+                e2e = plan.span_s
+            energy += plan.energy_j
+        if pipe <= self.l_cstr_s:
+            return (0, energy * e2e * 1e3, pipe * 1e3)
+        return (1, pipe * 1e3)
+
     def search(self, ws_budget: int, label: str | None = None) -> TrunkConfig:
         """Best configuration for a given WS chiplet count.
 
@@ -146,28 +178,20 @@ class TrunkDSE:
             raise ValueError("ws_budget out of range")
         label = label or (f"Het({ws_budget})" if 0 < ws_budget < self.chiplets
                           else ("WS" if ws_budget else "OS"))
-        best: TrunkConfig | None = None
+        best_rank: tuple | None = None
+        best_cand: tuple[dict, dict] | None = None
         for counts in self._partitions():
             for styles in self._styles(counts, ws_budget):
-                cand = self._evaluate(counts, styles, label, ws_budget)
-                if cand is None:
+                rank = self._rank(counts, styles)
+                if rank is None:
                     continue
-                if best is None:
-                    best = cand
-                    continue
-                if cand.feasible != best.feasible:
-                    if cand.feasible:
-                        best = cand
-                    continue
-                if cand.feasible:
-                    if ((cand.edp_j_ms, cand.pipe_ms)
-                            < (best.edp_j_ms, best.pipe_ms)):
-                        best = cand
-                else:
-                    if cand.pipe_ms < best.pipe_ms:
-                        best = cand
-        if best is None:
+                if best_rank is None or rank < best_rank:
+                    best_rank = rank
+                    best_cand = (counts, styles)
+        if best_cand is None:
             raise RuntimeError("trunk DSE found no valid configuration")
+        best = self._evaluate(*best_cand, label, ws_budget)
+        assert best is not None  # its plans were all priceable in _rank
         return best
 
     def table(self, het_budgets: tuple[int, ...] = (2, 4)) -> list[TrunkConfig]:

@@ -1,0 +1,145 @@
+"""Process-wide memoization of group plans.
+
+Every layer of the search stack re-prices ``(group, n_chiplets, accel)``
+candidates: :func:`~repro.core.sharding.plan_group` inside the throughput
+matcher's inner loop, :func:`~repro.core.sharding.next_shard_step` while
+probing shard counts, and :class:`~repro.core.dse.TrunkDSE` while
+brute-forcing Table I.  Until PR 1 each of those kept (at best) a private
+cache, so a design-space sweep re-computed identical plans once per caller.
+
+:class:`PlanCache` is the single shared table.  Keys are
+``(group, n, accel, mode)`` — all frozen dataclasses or strings, so hashing
+is structural: two scenarios that price the same group on the same
+accelerator hit the same entry even across independent
+``ThroughputMatcher``/``TrunkDSE`` instances.  ``mode`` distinguishes the
+"best over all shard modes" entry produced by ``plan_group`` (``"best"``)
+from any future mode-pinned lookups.
+
+The cache also keeps hit/miss counters.  Sweep reports surface them next to
+``Schedule.summary()`` metrics so cache-effectiveness regressions in the
+hot path show up in benchmark artifacts, not just in wall time.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from ..cost import AcceleratorConfig
+    from ..workloads.graph import LayerGroup
+    from .sharding import GroupPlan
+
+#: cache key mode for "best plan over all shard modes" (plan_group output)
+MODE_BEST = "best"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A snapshot of one cache's counters."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for reports (sorted, JSON-safe)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": self.entries,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def __sub__(self, other: "CacheStats") -> "CacheStats":
+        """Counter delta between two snapshots (entries from ``self``)."""
+        return CacheStats(hits=self.hits - other.hits,
+                          misses=self.misses - other.misses,
+                          entries=self.entries)
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        """Order-independent merge of per-worker counters."""
+        return CacheStats(hits=self.hits + other.hits,
+                          misses=self.misses + other.misses,
+                          entries=max(self.entries, other.entries))
+
+
+class PlanCache:
+    """Memoized ``(group, n, accel, mode) -> GroupPlan | None`` table.
+
+    ``None`` results (no shard mode can use ``n`` chiplets) are cached too:
+    infeasible probes are exactly what ``next_shard_step`` produces in bulk.
+    A lock keeps the counters coherent if callers ever share a cache across
+    threads; the computation itself runs outside the lock, so a rare
+    duplicate compute is possible but results are identical by construction.
+    """
+
+    def __init__(self) -> None:
+        self._table: dict = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def get_or_compute(
+            self,
+            group: "LayerGroup",
+            n: int,
+            accel: "AcceleratorConfig",
+            mode: str,
+            compute: Callable[[], Optional["GroupPlan"]],
+    ) -> Optional["GroupPlan"]:
+        """Return the cached plan for the key, computing it on first use."""
+        key = (group, n, accel, mode)
+        with self._lock:
+            if key in self._table:
+                self._hits += 1
+                return self._table[key]
+            self._misses += 1
+        plan = compute()
+        with self._lock:
+            self._table[key] = plan
+        return plan
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(hits=self._hits, misses=self._misses,
+                              entries=len(self._table))
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._table.clear()
+            self._hits = 0
+            self._misses = 0
+
+
+#: the process-wide cache shared by plan_group / next_shard_step /
+#: ThroughputMatcher / TrunkDSE (one per worker process in a sweep).
+_GLOBAL_CACHE = PlanCache()
+
+
+def get_plan_cache() -> PlanCache:
+    """The process-wide plan cache."""
+    return _GLOBAL_CACHE
+
+
+def plan_cache_stats() -> CacheStats:
+    """Snapshot of the process-wide cache counters."""
+    return _GLOBAL_CACHE.stats()
+
+
+def clear_plan_cache() -> None:
+    """Reset the process-wide cache (benchmarks / cold-start measurement)."""
+    _GLOBAL_CACHE.clear()

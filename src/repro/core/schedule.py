@@ -155,12 +155,17 @@ class Schedule:
         group = self.workload.find_group(name)
         # Hand-off tensor between segments approximated by the group's
         # per-instance output size, once per extra segment, over one hop
-        # (segments are placed adjacently).
-        payload = group.output_bytes_per_instance * group.instances
+        # (segments are placed adjacently).  Instances pipeline in
+        # parallel, so the serialization *latency* per hop is one
+        # instance's tensor (pricing the whole group's output here
+        # over-counted it by ``instances``x), while the *energies* of the
+        # concurrent per-instance transfers are additive.
+        payload = group.output_bytes_per_instance
         hops = gs.plan.segments - 1
         t = transfer_cost(payload, 1, self.package.nop)
-        return NoPEdge(name, name, payload * hops, 1.0,
-                       t.latency_s * hops, t.energy_j * hops)
+        return NoPEdge(name, name, payload * hops * group.instances, 1.0,
+                       t.latency_s * hops,
+                       t.energy_j * hops * group.instances)
 
     def nop_edges(self) -> list[NoPEdge]:
         """All inter-group and pipeline-internal NoP transfers."""
@@ -250,10 +255,17 @@ class Schedule:
 
     @property
     def utilization(self) -> float:
-        """Useful MACs over package PE-cycles in one steady-state window."""
-        freq = self.package.chiplets[0].accel.frequency_hz
-        cycles = self.pipe_latency_s * freq
-        return self.workload.total_macs / (self.package.total_pes * cycles)
+        """Useful MACs over package PE-cycles in one steady-state window.
+
+        Each chiplet contributes cycles at its *own* clock: heterogeneous
+        packages (the paper's Het(2)/Het(4)) may mix accelerator
+        frequencies, so assuming chiplet 0's clock for the whole package
+        mis-reports utilization whenever the mix is not uniform.
+        """
+        window = self.pipe_latency_s
+        pe_cycles = sum(c.accel.pe_count * c.accel.frequency_hz * window
+                        for c in self.package.chiplets)
+        return self.workload.total_macs / pe_cycles
 
     def summary(self) -> dict:
         """Headline metrics as a plain dict (used by experiments/CLI)."""

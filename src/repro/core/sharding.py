@@ -27,6 +27,7 @@ from dataclasses import dataclass, replace
 from ..cost import AcceleratorConfig, chain_energy_j, chain_latency_s, evaluate
 from ..workloads.graph import LayerGroup
 from ..workloads.layers import Layer
+from .plancache import MODE_BEST, get_plan_cache
 
 #: shard mode identifiers
 MODE_SINGLE = "single"
@@ -202,14 +203,9 @@ def _plan_pipeline(group: LayerGroup, n: int,
     )
 
 
-def plan_group(group: LayerGroup, n: int,
-               accel: AcceleratorConfig) -> GroupPlan | None:
-    """Best plan for running ``group`` on exactly ``n`` chiplets.
-
-    Returns None when no shard mode can use ``n`` chiplets.
-    """
-    if n < 1:
-        raise ValueError("n must be >= 1")
+def _compute_plan_group(group: LayerGroup, n: int,
+                        accel: AcceleratorConfig) -> GroupPlan | None:
+    """Uncached best-plan computation (the cache's compute callback)."""
     if n == 1:
         return _plan_single(group, accel)
     candidates = [
@@ -224,15 +220,43 @@ def plan_group(group: LayerGroup, n: int,
     return min(candidates, key=lambda p: (p.pipe_latency_s, p.span_s))
 
 
+def plan_group(group: LayerGroup, n: int,
+               accel: AcceleratorConfig) -> GroupPlan | None:
+    """Best plan for running ``group`` on exactly ``n`` chiplets.
+
+    Returns None when no shard mode can use ``n`` chiplets.  Results are
+    served from the process-wide :class:`~repro.core.plancache.PlanCache`,
+    so every caller (matcher, DSE, sweeps) shares one memo table.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return get_plan_cache().get_or_compute(
+        group, n, accel, MODE_BEST,
+        lambda: _compute_plan_group(group, n, accel))
+
+
 def next_shard_step(group: LayerGroup, n: int, max_n: int,
-                    accel: AcceleratorConfig) -> GroupPlan | None:
+                    accel: AcceleratorConfig,
+                    current: GroupPlan | None = None) -> GroupPlan | None:
     """Smallest n' > n (<= max_n) that strictly reduces pipe latency.
 
     This is the inner-loop move of Algorithm 1: one sharding step of the
     bottleneck group.  Chiplet counts that cannot help (e.g. 5 chiplets for
     8 instances, no better than 4) are skipped.
+
+    ``current`` lets a caller that already holds the plan for ``n`` (the
+    matcher always does) skip re-deriving it; when omitted it is served
+    from the shared plan cache.  The guard below checks the group and
+    chiplet count; a :class:`GroupPlan` does not record its accelerator,
+    so pricing ``current`` under the same ``accel`` as this call is the
+    caller's responsibility.
     """
-    current = plan_group(group, n, accel)
+    if current is None:
+        current = plan_group(group, n, accel)
+    elif current.n_chiplets != n or current.group_name != group.name:
+        raise ValueError(
+            f"current plan is for {current.group_name!r} on "
+            f"{current.n_chiplets} chiplets, not {group.name!r} on {n}")
     if current is None:
         return None
     for n_next in range(n + 1, max_n + 1):

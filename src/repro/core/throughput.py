@@ -234,7 +234,7 @@ class ThroughputMatcher:
         current = state.plans[group.name]
         max_n = current.n_chiplets + state.budget_left(stage_name)
         plan = next_shard_step(group, current.n_chiplets, max_n,
-                               state.accel_of[stage_name])
+                               state.accel_of[stage_name], current=current)
         if plan is None:
             return False
         state.plans[group.name] = plan

@@ -6,6 +6,7 @@ from .serialize import (
     layer_to_dict,
     plan_to_dict,
     save_schedule,
+    save_sweep,
     schedule_to_dict,
     workload_to_dict,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "layer_to_dict",
     "plan_to_dict",
     "save_schedule",
+    "save_sweep",
     "schedule_to_dict",
     "workload_to_dict",
 ]

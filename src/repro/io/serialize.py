@@ -127,3 +127,14 @@ def save_schedule(schedule: Schedule, path: str | pathlib.Path) -> None:
     """Write a schedule dump as pretty-printed JSON."""
     payload = schedule_to_dict(schedule)
     pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def save_sweep(result, path: str | pathlib.Path) -> None:
+    """Write a :class:`~repro.sweep.runner.SweepResult` as stable JSON.
+
+    The ``rows`` list is the deterministic payload (identical between the
+    serial and parallel paths); ``summary`` carries run metadata and the
+    aggregated plan-cache counters.
+    """
+    pathlib.Path(path).write_text(
+        json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n")

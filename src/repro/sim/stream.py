@@ -109,7 +109,12 @@ class StreamSimulator:
         """
         if n_frames < 2:
             raise ValueError("need at least 2 frames to measure throughput")
-        period = arrival_period_s or 0.0
+        if arrival_period_s is not None and arrival_period_s < 0:
+            raise ValueError("arrival_period_s must be non-negative")
+        # ``is None`` (not truthiness): an explicit period of 0.0 must stay
+        # distinguishable from "no period given" for callers that compute
+        # the period (a computed 0.0 means back-to-back on purpose).
+        period = 0.0 if arrival_period_s is None else arrival_period_s
         schedule = self.schedule
         workload = schedule.workload
         stage_links = self._stage_links()
@@ -136,11 +141,13 @@ class StreamSimulator:
             departure = max(finish.values())
             frames.append(FrameRecord(f, arrival, departure))
 
-        half = n_frames // 2
+        # Keep at least two frames in the steady window so ``inter`` is
+        # never empty (n_frames == 2 would otherwise silently measure 0).
+        half = min(n_frames // 2, n_frames - 2)
         steady = frames[half:]
         inter = [b.departure_s - a.departure_s
                  for a, b in zip(steady, steady[1:])]
-        measured_pipe = sum(inter) / len(inter) if inter else 0.0
+        measured_pipe = sum(inter) / len(inter)
         horizon = frames[-1].departure_s
         occupancy = {cid: (busy_total[cid] / horizon if horizon else 0.0)
                      for cid in busy_total}

@@ -1,0 +1,22 @@
+"""Parallel scenario-sweep engine over the scheduler and trunk DSE."""
+
+from .runner import ScenarioSweep, SweepResult, run_scenario, run_sweep
+from .scenario import (
+    WORKLOAD_VARIANTS,
+    Scenario,
+    parse_axis,
+    scenario_grid,
+    workload_variant,
+)
+
+__all__ = [
+    "ScenarioSweep",
+    "SweepResult",
+    "run_scenario",
+    "run_sweep",
+    "WORKLOAD_VARIANTS",
+    "Scenario",
+    "parse_axis",
+    "scenario_grid",
+    "workload_variant",
+]

@@ -1,0 +1,199 @@
+"""Parallel scenario-sweep engine.
+
+:class:`ScenarioSweep` fans a grid of :class:`~repro.sweep.scenario.Scenario`
+points across worker processes and merges the results deterministically:
+
+* every scenario is priced by :func:`run_scenario`, a pure function of the
+  scenario (the schedulers and cost model are deterministic), so the same
+  grid produces identical rows whether it runs serially or on N workers;
+* workers return ``(key, row, cache_delta)`` tuples that are merged by
+  scenario key, then emitted in the grid's canonical order — completion
+  order never leaks into the output, which is what makes the serial and
+  parallel paths byte-identical once serialized;
+* each worker process owns its own process-wide
+  :class:`~repro.core.plancache.PlanCache`; per-scenario hit/miss deltas
+  are summed into the sweep report, so cache effectiveness is visible in
+  artifacts (the *split* between hits and misses depends on which worker
+  priced which scenario first and is intentionally excluded from the
+  deterministic row payload).
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import operator
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from ..arch import NoPConfig, simba_package
+from ..core.dse import TrunkDSE
+from ..core.plancache import CacheStats, plan_cache_stats
+from ..core.throughput import ThroughputMatcher
+from ..workloads.pipeline import STAGE_TR, build_perception_workload
+from .scenario import Scenario, workload_variant
+
+#: summary metrics copied from Schedule.summary() into each sweep row.
+_SUMMARY_FIELDS = ("e2e_ms", "pipe_ms", "energy_j", "edp_j_ms",
+                   "utilization", "nop_latency_ms", "nop_energy_j",
+                   "used_chiplets")
+
+
+def run_scenario(scenario: Scenario) -> dict:
+    """Price one scenario: scheduler summary plus optional trunk DSE.
+
+    Pure function of the scenario — this is the unit of work shipped to
+    sweep workers, and the determinism contract of the whole engine.
+    """
+    config = workload_variant(scenario.workload)
+    workload = build_perception_workload(config)
+    nop = (NoPConfig(bandwidth_bytes_per_s=scenario.nop_gbps * 1e9)
+           if scenario.nop_gbps is not None else NoPConfig())
+    package = simba_package(npus=scenario.npus, nop=nop)
+    schedule = ThroughputMatcher(workload, package,
+                                 tolerance=scenario.tolerance).run()
+    summary = schedule.summary()
+    row = {"key": scenario.key, **scenario.to_dict()}
+    row["base_ms"] = schedule.base_latency_s * 1e3
+    for name in _SUMMARY_FIELDS:
+        row[name] = summary[name]
+    row["shard_steps"] = sum(t.action == "shard" for t in schedule.trace)
+
+    if scenario.het_ws_budget is not None:
+        # Mirror schedule_heterogeneous: the pipe constraint is the
+        # scenario's tolerance over ITS base latency, and the chiplet
+        # budget is the package's actual trunk-quadrant capacity.
+        l_cstr = scenario.tolerance * schedule.base_latency_s
+        trunk_chiplets = sum(
+            package.quadrant_capacity(q)
+            for q in schedule.stage_quadrants[STAGE_TR])
+        row.update(_trunk_columns(scenario.workload, workload,
+                                  scenario.het_ws_budget,
+                                  l_cstr, trunk_chiplets))
+    return row
+
+
+#: per-process memo: the trunk DSE depends only on (workload variant,
+#: WS budget, constraint, quadrant budget) — a grid varying NoP
+#: bandwidth must not re-run the brute-force enumeration per scenario.
+_TRUNK_MEMO: dict[tuple, dict] = {}
+
+
+def _trunk_columns(variant: str, workload, ws_budget: int,
+                   l_cstr_s: float, chiplets: int) -> dict:
+    if ws_budget > chiplets:
+        raise ValueError(
+            f"het_ws_budget {ws_budget} exceeds the trunk quadrant "
+            f"capacity ({chiplets} chiplets for this scenario)")
+    key = (variant, ws_budget, l_cstr_s, chiplets)
+    if key not in _TRUNK_MEMO:
+        best = TrunkDSE(stage=workload.stage(STAGE_TR),
+                        l_cstr_s=l_cstr_s,
+                        chiplets=chiplets).search(ws_budget)
+        _TRUNK_MEMO[key] = {
+            "trunk_label": best.label,
+            "trunk_pipe_ms": best.pipe_ms,
+            "trunk_energy_j": best.energy_j,
+            "trunk_edp_j_ms": best.edp_j_ms,
+            "trunk_feasible": best.feasible,
+        }
+    return dict(_TRUNK_MEMO[key])
+
+
+def _run_with_stats(scenario: Scenario) -> tuple[str, dict, CacheStats]:
+    """Worker entry point: row plus this scenario's plan-cache delta."""
+    before = plan_cache_stats()
+    row = run_scenario(scenario)
+    # The counter delta is this scenario's; entries reflect the worker's
+    # table after the run (CacheStats.__sub__ keeps the minuend's).
+    return scenario.key, row, plan_cache_stats() - before
+
+
+@dataclass
+class SweepResult:
+    """Merged output of one sweep run."""
+
+    scenarios: list[Scenario]
+    #: one row per scenario, in the grid's canonical order.
+    rows: list[dict]
+    #: summed per-scenario plan-cache deltas across all workers.
+    cache_stats: CacheStats
+    parallel: bool
+    workers: int
+
+    def row(self, key: str) -> dict:
+        for r in self.rows:
+            if r["key"] == key:
+                return r
+        raise KeyError(key)
+
+    def rows_json(self) -> str:
+        """Canonical serialization of the deterministic payload.
+
+        Serial and parallel runs of the same grid produce byte-identical
+        output here (cache statistics are excluded on purpose: the
+        hit/miss split depends on work placement, the rows do not).
+        """
+        return json.dumps({"rows": self.rows}, sort_keys=True, indent=2)
+
+    def summary(self) -> dict:
+        """Headline sweep metrics, Schedule.summary()-style."""
+        return {
+            "scenarios": len(self.rows),
+            "parallel": self.parallel,
+            "workers": self.workers,
+            "plan_cache": self.cache_stats.to_dict(),
+        }
+
+    def to_dict(self) -> dict:
+        return {"summary": self.summary(), "rows": self.rows}
+
+
+@dataclass
+class ScenarioSweep:
+    """Run a scenario grid, serially or across worker processes."""
+
+    scenarios: list[Scenario]
+    workers: int = 1
+    #: optional chunk size forwarded to the executor's map.
+    chunksize: int = field(default=1)
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ValueError("sweep needs at least one scenario")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        keys = [s.key for s in self.scenarios]
+        if len(set(keys)) != len(keys):
+            raise ValueError("scenario keys must be unique")
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> SweepResult:
+        """Execute the grid and merge results in canonical order."""
+        if self.workers == 1:
+            outcomes = [_run_with_stats(s) for s in self.scenarios]
+        else:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                outcomes = list(pool.map(_run_with_stats, self.scenarios,
+                                         chunksize=self.chunksize))
+        by_key = {key: row for key, row, _ in outcomes}
+        missing = [s.key for s in self.scenarios if s.key not in by_key]
+        if missing:
+            raise RuntimeError(f"scenarios produced no result: {missing}")
+        # CacheStats.__add__ sums the counters and keeps the largest
+        # per-process table size (tables are per-worker).
+        stats = functools.reduce(operator.add,
+                                 (d for _, _, d in outcomes))
+        return SweepResult(
+            scenarios=list(self.scenarios),
+            rows=[by_key[s.key] for s in self.scenarios],
+            cache_stats=stats,
+            parallel=self.workers > 1,
+            workers=self.workers,
+        )
+
+
+def run_sweep(scenarios: list[Scenario], workers: int = 1) -> SweepResult:
+    """Convenience wrapper: build and run a :class:`ScenarioSweep`."""
+    return ScenarioSweep(scenarios, workers=workers).run()

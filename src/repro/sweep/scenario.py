@@ -1,0 +1,131 @@
+"""Scenario definitions for design-space sweeps.
+
+A :class:`Scenario` is one fully-specified run of the throughput-matching
+scheduler (plus, optionally, the trunk DSE): a workload variant, a package
+size, a NoP bandwidth, a tolerance coefficient, and a heterogeneous WS
+chiplet budget.  Scenarios are frozen, hashable, and serializable, with a
+deterministic ``key`` string used to merge results order-independently.
+
+:func:`scenario_grid` expands a cartesian grid over those axes — the shape
+of every ablation the paper implies but does not run (tolerance, NoP
+bandwidth, chiplet-count scaling, workload dimensions, Het(k) budgets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..workloads.pipeline import PipelineConfig
+
+#: named workload variants: the paper's fixed workload plus the scaling
+#: knobs of analysis.scaling, as reusable scenario axes.
+WORKLOAD_VARIANTS: dict[str, PipelineConfig] = {
+    "default": PipelineConfig(),
+    "lores": PipelineConfig(input_hw=(540, 960)),
+    "hires": PipelineConfig(input_hw=(1080, 1920)),
+    "quad-camera": PipelineConfig(cameras=4),
+    "six-camera": PipelineConfig(cameras=6),
+    "shallow-queue": PipelineConfig(t_frames=6),
+    "deep-queue": PipelineConfig(t_frames=24),
+    "full-context": PipelineConfig(lane_context=1.0),
+}
+
+
+def workload_variant(name: str) -> PipelineConfig:
+    """The :class:`PipelineConfig` behind a variant name."""
+    try:
+        return WORKLOAD_VARIANTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload variant {name!r}; "
+            f"known: {', '.join(sorted(WORKLOAD_VARIANTS))}") from None
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One point of a sweep grid."""
+
+    tolerance: float = 1.05
+    #: NoP link bandwidth in GB/s; None keeps the default (100 GB/s).
+    nop_gbps: float | None = None
+    #: number of 6x6 NPU modules in the package (package size axis).
+    npus: int = 1
+    #: key into :data:`WORKLOAD_VARIANTS`.
+    workload: str = "default"
+    #: when set, additionally run the trunk DSE with this WS chiplet budget.
+    het_ws_budget: int | None = None
+
+    def __post_init__(self) -> None:
+        # tolerance/npus/workload have no "default" sentinel: an explicit
+        # None (e.g. a CLI axis of 'none') is a usage error, reported as
+        # ValueError rather than a comparison TypeError.
+        if self.tolerance is None or self.tolerance < 1.0:
+            raise ValueError("tolerance must be a number >= 1.0")
+        if self.npus is None or self.npus < 1:
+            raise ValueError("npus must be an integer >= 1")
+        if self.nop_gbps is not None and self.nop_gbps <= 0:
+            raise ValueError("nop_gbps must be positive")
+        if self.het_ws_budget is not None and self.het_ws_budget < 0:
+            raise ValueError("het_ws_budget must be >= 0")
+        workload_variant(self.workload)  # fail fast on unknown variants
+
+    @property
+    def key(self) -> str:
+        """Deterministic identity string (merge key and report label)."""
+        nop = "default" if self.nop_gbps is None else f"{self.nop_gbps:g}"
+        het = "-" if self.het_ws_budget is None else str(self.het_ws_budget)
+        return (f"tol={self.tolerance:g}|nop={nop}|npus={self.npus}"
+                f"|wl={self.workload}|het={het}")
+
+    def to_dict(self) -> dict:
+        return {
+            "tolerance": self.tolerance,
+            "nop_gbps": self.nop_gbps,
+            "npus": self.npus,
+            "workload": self.workload,
+            "het_ws_budget": self.het_ws_budget,
+        }
+
+
+def scenario_grid(
+        tolerances: Sequence[float] = (1.05,),
+        nop_gbps: Sequence[float | None] = (None,),
+        npus: Sequence[int] = (1,),
+        workloads: Sequence[str] = ("default",),
+        het_ws_budgets: Sequence[int | None] = (None,),
+) -> list[Scenario]:
+    """Cartesian scenario grid over the five sweep axes.
+
+    The expansion order is deterministic (row-major over the arguments as
+    given), so a grid built twice from the same inputs is identical — the
+    property the parallel runner's order-independent merge relies on.
+    """
+    grid = [
+        Scenario(tolerance=tol, nop_gbps=bw, npus=n,
+                 workload=wl, het_ws_budget=het)
+        for tol in tolerances
+        for bw in nop_gbps
+        for n in npus
+        for wl in workloads
+        for het in het_ws_budgets
+    ]
+    seen: set[str] = set()
+    for s in grid:
+        if s.key in seen:
+            raise ValueError(f"duplicate scenario in grid: {s.key}")
+        seen.add(s.key)
+    return grid
+
+
+def parse_axis(text: str, cast=float) -> list:
+    """Parse a comma-separated CLI axis ('1.0,1.05'); 'none' -> None."""
+    values: list = []
+    for tok in text.split(","):
+        tok = tok.strip()
+        if not tok:
+            continue
+        values.append(None if tok.lower() == "none" else cast(tok))
+    if not values:
+        raise ValueError(f"empty axis: {text!r}")
+    return values

@@ -23,3 +23,44 @@ class TestCli:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig99"])
+
+
+class TestSweepCli:
+    def test_sweep_table_output(self, capsys):
+        assert main(["sweep", "--tolerances", "1.0,1.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario sweep (2 scenarios" in out
+        assert "plan cache:" in out
+
+    def test_sweep_json_output(self, capsys):
+        assert main(["sweep", "--tolerances", "1.05",
+                     "--het-budgets", "none,2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["scenarios"] == 2
+        assert "plan_cache" in payload["summary"]
+        assert payload["rows"][1]["trunk_label"] == "Het(2)"
+
+    def test_sweep_writes_output_file(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        assert main(["sweep", "--npus", "1", "--output", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["summary"]["scenarios"] == 1
+
+    def test_sweep_rejects_bad_axis(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--tolerances", "abc"])
+
+    def test_sweep_rejects_invalid_workers(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--workers", "0"])
+
+    def test_flags_before_subcommand(self, capsys):
+        # argparse allows options before the positional; both shared and
+        # sweep-specific flags must reach the sweep parser.
+        assert main(["--json", "sweep", "--tolerances", "1.0,1.1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["scenarios"] == 2
+
+    def test_experiment_rejects_stray_arguments(self):
+        with pytest.raises(SystemExit):
+            main(["fig11", "--tolerances", "1.0"])

@@ -1,0 +1,129 @@
+"""Tests for the scenario-sweep engine (grid, runner, determinism)."""
+
+import json
+
+import pytest
+
+from repro.io import save_sweep
+from repro.sweep import (
+    WORKLOAD_VARIANTS,
+    Scenario,
+    ScenarioSweep,
+    parse_axis,
+    run_scenario,
+    scenario_grid,
+)
+
+
+class TestScenario:
+    def test_key_is_deterministic_and_unique_per_point(self):
+        a = Scenario(tolerance=1.05, npus=2)
+        b = Scenario(tolerance=1.05, npus=2)
+        c = Scenario(tolerance=1.1, npus=2)
+        assert a.key == b.key
+        assert a.key != c.key
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scenario(tolerance=0.9)
+        with pytest.raises(ValueError):
+            Scenario(npus=0)
+        with pytest.raises(ValueError):
+            Scenario(nop_gbps=-1.0)
+        with pytest.raises(KeyError):
+            Scenario(workload="no-such-variant")
+
+    def test_grid_expansion_is_row_major_and_duplicate_free(self):
+        grid = scenario_grid(tolerances=(1.0, 1.1), npus=(1, 2))
+        assert len(grid) == 4
+        assert grid[0].tolerance == 1.0 and grid[0].npus == 1
+        assert grid[1].tolerance == 1.0 and grid[1].npus == 2
+        assert len({s.key for s in grid}) == 4
+
+    def test_all_workload_variants_build(self):
+        for name in WORKLOAD_VARIANTS:
+            assert Scenario(workload=name).workload == name
+
+    def test_parse_axis(self):
+        assert parse_axis("1.0,1.05") == [1.0, 1.05]
+        assert parse_axis("none,50") == [None, 50.0]
+        assert parse_axis("1,2", int) == [1, 2]
+        with pytest.raises(ValueError):
+            parse_axis("  ,")
+
+
+class TestRunScenario:
+    def test_row_carries_scenario_identity_and_metrics(self):
+        row = run_scenario(Scenario())
+        assert row["key"] == Scenario().key
+        assert row["pipe_ms"] > 0
+        assert row["e2e_ms"] > row["pipe_ms"]
+        assert 0 < row["utilization"] < 1
+        assert "trunk_edp_j_ms" not in row  # no het budget requested
+
+    def test_het_budget_adds_trunk_dse_columns(self):
+        row = run_scenario(Scenario(het_ws_budget=2))
+        assert row["trunk_label"] == "Het(2)"
+        assert row["trunk_edp_j_ms"] > 0
+        assert isinstance(row["trunk_feasible"], bool)
+
+    def test_trunk_columns_match_schedule_heterogeneous(self):
+        # The sweep's trunk DSE must use the scenario's own constraint
+        # and quadrant budget, exactly like the canonical hetero flow.
+        from repro.core import schedule_heterogeneous
+        row = run_scenario(Scenario(tolerance=1.0, het_ws_budget=2))
+        het = schedule_heterogeneous(ws_chiplets=2, tolerance=1.0)
+        assert row["trunk_edp_j_ms"] == pytest.approx(
+            het.trunk_config.edp_j_ms)
+        assert row["trunk_feasible"] == het.trunk_config.feasible
+
+    def test_nop_bandwidth_axis_moves_nop_latency(self):
+        slow = run_scenario(Scenario(nop_gbps=12.5))
+        fast = run_scenario(Scenario(nop_gbps=200.0))
+        assert slow["nop_latency_ms"] > fast["nop_latency_ms"]
+
+
+class TestScenarioSweep:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return scenario_grid(
+            tolerances=(1.0, 1.05),
+            npus=(1,),
+            workloads=("default",),
+            het_ws_budgets=(None, 2),
+        )
+
+    def test_validation(self, grid):
+        with pytest.raises(ValueError):
+            ScenarioSweep([])
+        with pytest.raises(ValueError):
+            ScenarioSweep(grid, workers=0)
+        with pytest.raises(ValueError):
+            ScenarioSweep([grid[0], grid[0]])
+
+    def test_serial_and_parallel_rows_byte_identical(self, grid):
+        serial = ScenarioSweep(grid, workers=1).run()
+        parallel = ScenarioSweep(grid, workers=2).run()
+        assert serial.rows_json() == parallel.rows_json()
+
+    def test_rows_follow_grid_order(self, grid):
+        result = ScenarioSweep(grid, workers=1).run()
+        assert [r["key"] for r in result.rows] == [s.key for s in grid]
+
+    def test_cache_stats_are_aggregated(self, grid):
+        result = ScenarioSweep(grid, workers=1).run()
+        stats = result.summary()["plan_cache"]
+        assert stats["hits"] + stats["misses"] > 0
+        # Repeated scenarios over one workload must mostly hit the cache.
+        assert stats["hits"] > stats["misses"]
+
+    def test_result_serializes_to_stable_json(self, grid, tmp_path):
+        result = ScenarioSweep(grid, workers=1).run()
+        out = tmp_path / "sweep.json"
+        save_sweep(result, out)
+        payload = json.loads(out.read_text())
+        assert payload["summary"]["scenarios"] == len(grid)
+        assert payload["rows"] == result.to_dict()["rows"]
+        # sorted-key serialization is reproducible byte-for-byte
+        save_sweep(result, tmp_path / "sweep2.json")
+        assert out.read_text() == (tmp_path / "sweep2.json").read_text()
