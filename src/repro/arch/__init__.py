@@ -10,7 +10,7 @@ from .dram import (
     weight_stream_bytes,
 )
 from .nop import NOP_28NM, NoPConfig, NoPTransfer, transfer_cost
-from .package import MCMPackage, simba_package
+from .package import MCMPackage, min_hop_map, simba_package
 
 __all__ = [
     "Chiplet",
@@ -25,5 +25,6 @@ __all__ = [
     "NoPTransfer",
     "transfer_cost",
     "MCMPackage",
+    "min_hop_map",
     "simba_package",
 ]

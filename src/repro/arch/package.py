@@ -19,6 +19,42 @@ from .chiplet import Chiplet
 from .nop import NOP_28NM, NoPConfig
 
 
+def min_hop_map(mesh_w: int, mesh_h: int,
+                sources: list[tuple[int, int]]) -> list[list[int]]:
+    """Min XY-routed hops from every mesh cell to the nearest source.
+
+    Two-pass L1 distance transform over the mesh — O(cells) regardless
+    of the source count, and identical to ``min(|dx| + |dy|)`` because
+    the mesh has no holes.  Indexed ``[x][y]``.
+    """
+    inf = mesh_w + mesh_h  # exceeds any reachable distance
+    dist = [inf] * (mesh_w * mesh_h)  # flat, index x * mesh_h + y
+    for x, y in sources:
+        dist[x * mesh_h + y] = 0
+    for x in range(mesh_w):
+        base = x * mesh_h
+        for y in range(mesh_h):
+            i = base + y
+            d = dist[i]
+            if x and dist[i - mesh_h] + 1 < d:
+                d = dist[i - mesh_h] + 1
+            if y and dist[i - 1] + 1 < d:
+                d = dist[i - 1] + 1
+            dist[i] = d
+    last_x, last_y = mesh_w - 1, mesh_h - 1
+    for x in range(last_x, -1, -1):
+        base = x * mesh_h
+        for y in range(last_y, -1, -1):
+            i = base + y
+            d = dist[i]
+            if x < last_x and dist[i + mesh_h] + 1 < d:
+                d = dist[i + mesh_h] + 1
+            if y < last_y and dist[i + 1] + 1 < d:
+                d = dist[i + 1] + 1
+            dist[i] = d
+    return [dist[x * mesh_h:(x + 1) * mesh_h] for x in range(mesh_w)]
+
+
 @dataclass
 class MCMPackage:
     """A mesh of chiplets plus NoP parameters."""

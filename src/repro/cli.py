@@ -13,11 +13,17 @@ across worker processes and merge the results deterministically::
     chiplet-npu sweep --tolerances 1.0,1.05,1.2 --npus 1,2 --workers 4
     chiplet-npu sweep --nop-gbps 25,50,100 --workloads default,hires \\
         --het-budgets none,2,4 --json --output results/sweep.json
+    chiplet-npu sweep --workloads default,hires --workers 4 \\
+        --stream --store results/planstore
 
 Axes are comma-separated lists; ``none`` keeps an axis at its default
 (``--nop-gbps none`` = 100 GB/s, ``--het-budgets none`` = skip the trunk
-DSE).  The report includes the shared plan-cache hit/miss statistics, so
-cache-effectiveness regressions are visible alongside the metrics.
+DSE).  ``--stream`` prints each row as it finishes (completion order)
+while the merged artifact stays byte-identical to the batch path;
+``--store DIR`` warm-starts every worker from a shared disk-backed plan
+store and flushes newly computed plans back for the next run.  The report
+includes the shared plan-cache and layer-cost-cache hit/miss statistics,
+so cache-effectiveness regressions are visible alongside the metrics.
 """
 
 from __future__ import annotations
@@ -49,6 +55,13 @@ def _sweep_parser() -> argparse.ArgumentParser:
                              "trunk DSE ('none' = skip)")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes (1 = serial)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="directory of a shared disk-backed plan "
+                             "store: workers warm-start from it and flush "
+                             "newly computed plans back")
+    parser.add_argument("--stream", action="store_true",
+                        help="print each scenario's row as it finishes "
+                             "(completion order) before the merged report")
     parser.add_argument("--json", action="store_true",
                         help="emit structured JSON instead of a table")
     parser.add_argument("--output", default=None,
@@ -71,12 +84,30 @@ def _run_sweep(argv: list[str]) -> int:
             workloads=parse_axis(args.workloads, str),
             het_ws_budgets=parse_axis(args.het_budgets, int),
         )
-        sweep = ScenarioSweep(grid, workers=args.workers)
+        sweep = ScenarioSweep(grid, workers=args.workers,
+                              store_path=args.store)
     except (ValueError, KeyError) as exc:
         # str(KeyError) wraps the message in repr quotes; unwrap it.
         parser.error(exc.args[0] if exc.args else str(exc))
     try:
-        result = sweep.run()
+        if args.stream:
+            # Stream rows in completion order, then merge canonically —
+            # the merged artifact is byte-identical to the batch path.
+            outcomes = []
+            for outcome in sweep.run_iter():
+                outcomes.append(outcome)
+                if args.json:
+                    print(json.dumps(outcome.row, sort_keys=True),
+                          flush=True)
+                else:
+                    row = outcome.row
+                    print(f"[{len(outcomes)}/{len(grid)}] {row['key']}: "
+                          f"pipe {row['pipe_ms']:.2f} ms, "
+                          f"e2e {row['e2e_ms']:.1f} ms, "
+                          f"{row['energy_j']:.3f} J", flush=True)
+            result = sweep.merge(outcomes)
+        else:
+            result = sweep.run()
     except ValueError as exc:
         # e.g. a het budget larger than a scenario's trunk quadrant.
         parser.error(str(exc))
@@ -87,9 +118,16 @@ def _run_sweep(argv: list[str]) -> int:
         save_sweep(result, args.output)
 
     if args.json:
-        # Same serialization as save_sweep, so stdout and --output (and
-        # rows_json, the determinism contract) are byte-comparable.
-        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        if args.stream:
+            # Rows already streamed as JSON lines; close with the summary
+            # (the full merged document is available via --output).
+            print(json.dumps({"summary": result.summary()},
+                             indent=2, sort_keys=True))
+        else:
+            # Same serialization as save_sweep, so stdout and --output
+            # (and rows_json, the determinism contract) are
+            # byte-comparable.
+            print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
         return 0
 
     # format_table derives headers from the first row, so the trunk
@@ -117,10 +155,17 @@ def _run_sweep(argv: list[str]) -> int:
     print(format_table(display,
                        f"Scenario sweep ({len(result.rows)} scenarios, "
                        f"workers={result.workers})"))
-    cache = result.summary()["plan_cache"]
+    summary = result.summary()
+    cache = summary["plan_cache"]
     print(f"plan cache: {cache['hits']} hits / {cache['misses']} misses "
           f"({100 * cache['hit_rate']:.1f}% hit rate, "
-          f"{cache['entries']} entries)")
+          f"{cache['entries']} entries, "
+          f"{cache['store_hits']} served from store)")
+    layer = summary["layer_cost_cache"]
+    print(f"layer-cost cache: {layer['hits']} hits / "
+          f"{layer['misses']} misses "
+          f"({100 * layer['hit_rate']:.1f}% hit rate, "
+          f"{layer['entries']} entries)")
     return 0
 
 

@@ -16,6 +16,7 @@ from .plancache import (
     get_plan_cache,
     plan_cache_stats,
 )
+from .planstore import SCHEMA_VERSION, PlanStore, plan_key_hash
 from .schedule import GroupSchedule, NoPEdge, Schedule, TraceStep
 from .sharding import (
     MODE_INSTANCES,
@@ -44,6 +45,9 @@ __all__ = [
     "clear_plan_cache",
     "get_plan_cache",
     "plan_cache_stats",
+    "SCHEMA_VERSION",
+    "PlanStore",
+    "plan_key_hash",
     "default_stage_quadrants",
     "place",
     "GroupSchedule",

@@ -11,7 +11,7 @@ groups stay clustered.
 
 from __future__ import annotations
 
-from ..arch import MCMPackage
+from ..arch import MCMPackage, min_hop_map
 from ..workloads.graph import PerceptionWorkload
 
 
@@ -42,6 +42,8 @@ def place(workload: PerceptionWorkload,
     """Assign ``alloc[group]`` chiplet ids to every non-colocated group."""
     assignment: dict[str, tuple[int, ...]] = {}
     prev_stage_ids: list[int] = []
+    xs = [package.chiplet(c).x for c in range(len(package))]
+    ys = [package.chiplet(c).y for c in range(len(package))]
     for stage in workload.stages:
         cells = [c.chiplet_id
                  for q in stage_quadrants[stage.name]
@@ -62,16 +64,46 @@ def place(workload: PerceptionWorkload,
                        for cid in assignment.get(dep, ())]
             if not anchors:
                 anchors = prev_stage_ids
-            chosen: list[int] = []
-            for _ in range(n):
-                def score(cid: int) -> tuple[float, int]:
-                    to_anchor = (min(package.hops(cid, a) for a in anchors)
-                                 if anchors else 0.0)
-                    to_peers = (min(package.hops(cid, p) for p in chosen)
-                                if chosen else 0.0)
-                    return (to_anchor + 0.5 * to_peers, cid)
-
-                best = min(free, key=score)
+            # The anchor term of the score is fixed for the whole group
+            # and the peer term is a running minimum over the chiplets
+            # chosen so far, so precompute the former (one multi-source
+            # BFS over the mesh) and update the latter incrementally:
+            # O(cells + n * free) per group instead of
+            # O(n * free * (anchors + chosen)).  Scores (and the cid
+            # tie-break) are identical to scoring from scratch.
+            inf = float("inf")
+            if anchors:
+                hop_map = min_hop_map(
+                    package.mesh_w, package.mesh_h,
+                    [(xs[a], ys[a]) for a in anchors])
+                anchor_d = {cid: hop_map[xs[cid]][ys[cid]] for cid in free}
+            else:
+                anchor_d = {cid: 0.0 for cid in free}
+            peer_d = {cid: inf for cid in free}
+            # ``free`` stays sorted, so keeping the first strictly
+            # smaller score reproduces the (score, cid) tie-break.  The
+            # peer-distance refresh and the next pick's argmin share one
+            # pass over the free list.
+            best = free[0]
+            best_score = None
+            for cid in free:
+                score = anchor_d[cid]
+                if best_score is None or score < best_score:
+                    best, best_score = cid, score
+            free.remove(best)
+            chosen = [best]
+            while len(chosen) < n:
+                bx, by = xs[best], ys[best]
+                nxt = free[0]
+                nxt_score = None
+                for cid in free:
+                    d = abs(xs[cid] - bx) + abs(ys[cid] - by)
+                    if d < peer_d[cid]:
+                        peer_d[cid] = d
+                    score = anchor_d[cid] + 0.5 * peer_d[cid]
+                    if nxt_score is None or score < nxt_score:
+                        nxt, nxt_score = cid, score
+                best = nxt
                 free.remove(best)
                 chosen.append(best)
             assignment[group.name] = tuple(chosen)

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
     from ..cost import AcceleratorConfig
     from ..workloads.graph import LayerGroup
+    from .planstore import PlanStore
     from .sharding import GroupPlan
 
 #: cache key mode for "best plan over all shard modes" (plan_group output)
@@ -42,6 +43,9 @@ class CacheStats:
     hits: int
     misses: int
     entries: int
+    #: how many of the hits were first served from an attached
+    #: :class:`~repro.core.planstore.PlanStore` (0 when none is attached).
+    store_hits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -57,6 +61,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "entries": self.entries,
+            "store_hits": self.store_hits,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -64,13 +69,15 @@ class CacheStats:
         """Counter delta between two snapshots (entries from ``self``)."""
         return CacheStats(hits=self.hits - other.hits,
                           misses=self.misses - other.misses,
-                          entries=self.entries)
+                          entries=self.entries,
+                          store_hits=self.store_hits - other.store_hits)
 
     def __add__(self, other: "CacheStats") -> "CacheStats":
         """Order-independent merge of per-worker counters."""
         return CacheStats(hits=self.hits + other.hits,
                           misses=self.misses + other.misses,
-                          entries=max(self.entries, other.entries))
+                          entries=max(self.entries, other.entries),
+                          store_hits=self.store_hits + other.store_hits)
 
 
 class PlanCache:
@@ -81,6 +88,13 @@ class PlanCache:
     A lock keeps the counters coherent if callers ever share a cache across
     threads; the computation itself runs outside the lock, so a rare
     duplicate compute is possible but results are identical by construction.
+
+    A :class:`~repro.core.planstore.PlanStore` can be layered underneath
+    with :meth:`attach_store`: in-memory misses then consult the store's
+    loaded entries (by content hash) before computing, and every newly
+    computed entry is staged for :meth:`flush_to_store`.  The disk layer is
+    invisible to callers — stored plans deserialize bit-identical to
+    computed ones.
     """
 
     def __init__(self) -> None:
@@ -88,9 +102,84 @@ class PlanCache:
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._store: Optional["PlanStore"] = None
+        #: content-hash -> plan entries loaded from the attached store
+        self._loaded: dict = {}
+        #: entries computed since the last flush, keyed by content hash
+        self._dirty: dict = {}
+        self._store_hits = 0
+        # Interning tables: every group/accel object is swapped for one
+        # canonical instance before keying the table, so key-tuple
+        # comparisons inside dict probes short-circuit on identity
+        # instead of deep-comparing whole layer chains.  The by-id level
+        # makes repeat lookups with the same object O(1).
+        self._intern: dict = {}
+        self._intern_by_id: dict = {}
 
     def __len__(self) -> int:
         return len(self._table)
+
+    #: cap on the by-id fast-path map: one entry per *object* probed, so
+    #: unbounded sweeps would otherwise pin every scenario's dead groups.
+    _INTERN_BY_ID_CAP = 8192
+
+    def _canonical(self, obj):
+        """One canonical instance per structurally-equal object.
+
+        Caller must hold the lock.  The by-id fast path keeps a strong
+        reference to the seen object, so its id cannot be recycled while
+        the entry exists; the map is cleared when it hits its cap (the
+        structural ``_intern`` table — bounded by distinct content —
+        re-seeds it at one deep comparison per live object).
+        """
+        entry = self._intern_by_id.get(id(obj))
+        if entry is not None and entry[0] is obj:
+            return entry[1]
+        canonical = self._intern.setdefault(obj, obj)
+        if len(self._intern_by_id) >= self._INTERN_BY_ID_CAP:
+            self._intern_by_id.clear()
+        self._intern_by_id[id(obj)] = (obj, canonical)
+        return canonical
+
+    @property
+    def store(self) -> Optional["PlanStore"]:
+        """The attached plan store, if any."""
+        return self._store
+
+    def attach_store(self, store: "PlanStore") -> int:
+        """Warm-start from ``store`` and stage future misses for flushing.
+
+        Returns the number of entries loaded from disk.  Existing
+        in-memory entries stay valid (and take precedence — they are the
+        same plans by construction); only plans computed *after* attaching
+        are staged for :meth:`flush_to_store`.
+        """
+        entries = store.load()
+        with self._lock:
+            self._store = store
+            self._loaded = entries
+            self._dirty = {}
+        return len(entries)
+
+    def detach_store(self) -> Optional["PlanStore"]:
+        """Drop the store layer (unflushed entries are discarded)."""
+        with self._lock:
+            store, self._store = self._store, None
+            self._loaded = {}
+            self._dirty = {}
+        return store
+
+    def flush_to_store(self) -> int:
+        """Persist entries computed since the last flush; returns count."""
+        with self._lock:
+            store, dirty = self._store, self._dirty
+            if store is None or not dirty:
+                return 0
+            self._dirty = {}
+        store.flush(dirty)
+        with self._lock:
+            self._loaded.update(dirty)
+        return len(dirty)
 
     def get_or_compute(
             self,
@@ -101,28 +190,56 @@ class PlanCache:
             compute: Callable[[], Optional["GroupPlan"]],
     ) -> Optional["GroupPlan"]:
         """Return the cached plan for the key, computing it on first use."""
-        key = (group, n, accel, mode)
         with self._lock:
+            group = self._canonical(group)
+            accel = self._canonical(accel)
+            key = (group, n, accel, mode)
             if key in self._table:
                 self._hits += 1
                 return self._table[key]
+            store = self._store
+        # Hash outside the lock (pure CPU); only needed with a store.
+        key_hash = (store.key_hash(group, n, accel, mode)
+                    if store is not None else None)
+        with self._lock:
+            if key in self._table:  # raced with another thread
+                self._hits += 1
+                return self._table[key]
+            if key_hash is not None and key_hash in self._loaded:
+                plan = self._loaded[key_hash]
+                self._table[key] = plan
+                self._hits += 1
+                self._store_hits += 1
+                return plan
             self._misses += 1
         plan = compute()
         with self._lock:
             self._table[key] = plan
+            if key_hash is not None:
+                self._dirty[key_hash] = plan
         return plan
 
     def stats(self) -> CacheStats:
         with self._lock:
             return CacheStats(hits=self._hits, misses=self._misses,
-                              entries=len(self._table))
+                              entries=len(self._table),
+                              store_hits=self._store_hits)
 
     def clear(self) -> None:
-        """Drop all entries and reset the counters."""
+        """Drop all entries and reset the counters.
+
+        An attached store stays attached with its loaded entries intact
+        (they mirror immutable disk state); staged-but-unflushed entries
+        are dropped along with the table.
+        """
         with self._lock:
             self._table.clear()
+            self._dirty.clear()
+            self._intern.clear()
+            self._intern_by_id.clear()
             self._hits = 0
             self._misses = 0
+            self._store_hits = 0
 
 
 #: the process-wide cache shared by plan_group / next_shard_step /

@@ -1,0 +1,229 @@
+"""Disk-backed, versioned plan store shared across sweep processes.
+
+The process-wide :class:`~repro.core.plancache.PlanCache` makes a single
+process fast; this module makes the *fleet* fast.  A :class:`PlanStore` is a
+directory of immutable shard files that any number of concurrent sweep
+workers (or successive runs) can read and extend without locks:
+
+* **Keys are content hashes.**  ``plan_key_hash`` canonicalizes the frozen
+  ``(group, n_chiplets, accel, mode)`` lookup tuple — via the same
+  ``group_to_dict``/``accel_to_dict`` views ``repro.io.serialize`` uses for
+  artifacts — into sorted JSON and takes its SHA-256.  Two processes that
+  price the same group on the same accelerator produce the same key, no
+  matter how the objects were constructed.
+* **Entries are exact.**  Values are ``plan_to_record`` dumps of the
+  computed :class:`~repro.core.sharding.GroupPlan` (or ``null`` for
+  infeasible probes, which the cache memoizes too).  JSON floats round-trip
+  via ``repr``, so a store-served plan is bit-identical to a freshly
+  computed one and warm rows serialize byte-for-byte like cold rows.
+* **Writes are atomic and content-addressed.**  A flush serializes its
+  entries to one shard, writes it to a temp file in the store directory,
+  and ``os.replace``-renames it to ``plans-<digest>.json``.  Readers never
+  observe a partial shard; two workers flushing identical content collide
+  on the same name with the same bytes, which is harmless.
+* **A schema version stamps every shard.**  Bump :data:`SCHEMA_VERSION`
+  whenever the cost model, the ``GroupPlan`` fields, or the key payload
+  change meaning; ``load`` then ignores stale shards (and corrupted or
+  truncated files), so an outdated store degrades to a cold start instead
+  of serving wrong plans.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import uuid
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from ..cost import AcceleratorConfig
+    from ..workloads.graph import LayerGroup
+    from .sharding import GroupPlan
+
+#: Store layout / cost-model revision.  Shards stamped with a different
+#: version are ignored on load (stale stores invalidate themselves).
+SCHEMA_VERSION = 1
+
+#: shard filename pattern: plans-<content digest>.json
+_SHARD_PREFIX = "plans-"
+_SHARD_SUFFIX = ".json"
+
+
+def _group_fragment(group: "LayerGroup") -> str:
+    """Canonical JSON fragment of one group (sorted keys, compact)."""
+    from ..io.serialize import group_to_dict
+    return json.dumps(group_to_dict(group), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def _accel_fragment(accel: "AcceleratorConfig") -> str:
+    """Canonical JSON fragment of one accelerator config."""
+    from ..io.serialize import accel_to_dict
+    return json.dumps(accel_to_dict(accel), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def _compose_key_text(group_json: str, n: int, accel_json: str,
+                      mode: str) -> str:
+    """The canonical key payload, composed from pre-serialized fragments.
+
+    Equivalent to ``json.dumps({"accel": ..., "group": ..., "mode": ...,
+    "n": ...}, sort_keys=True, separators=(",", ":"))`` — the field names
+    are already in sorted order here.
+    """
+    return (f'{{"accel":{accel_json},"group":{group_json},'
+            f'"mode":{json.dumps(mode)},"n":{n}}}')
+
+
+def plan_key_hash(group: "LayerGroup", n: int, accel: "AcceleratorConfig",
+                  mode: str) -> str:
+    """SHA-256 content hash of one plan-cache key.
+
+    Canonical form: sorted-key JSON over the serialized group, the chiplet
+    count, the serialized accelerator, and the mode string — via the same
+    ``group_to_dict``/``accel_to_dict`` views artifacts use.  Layer
+    ``tags`` are excluded (they are excluded from ``Layer`` equality too);
+    everything cost-relevant — including ``weights_are_activations`` — is
+    part of the serialized views.
+    """
+    # Imports inside the serialize helpers are lazy: repro.io.serialize
+    # imports from repro.core, so a module-level import would cycle
+    # during package initialization.
+    text = _compose_key_text(_group_fragment(group), n,
+                             _accel_fragment(accel), mode)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class PlanStore:
+    """A directory of atomic, content-addressed plan shards.
+
+    Safe for concurrent use by independent processes: loads only see
+    complete shards, flushes never overwrite foreign data, and no file is
+    ever modified in place.  One instance additionally memoizes key hashes
+    per ``(group, n, accel, mode)`` tuple so repeated lookups of the same
+    structural key hash the payload once.
+    """
+
+    def __init__(self, path: str | pathlib.Path,
+                 schema_version: int = SCHEMA_VERSION) -> None:
+        self.path = pathlib.Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.schema_version = schema_version
+        #: files ignored by the last load(): list of (path, reason) pairs,
+        #: reason in {"corrupt", "schema"}.
+        self.skipped_files: list[tuple[pathlib.Path, str]] = []
+        self._hash_memo: dict = {}
+        # Fragment memos: a group/accel serializes once per store
+        # instance, not once per (n, mode) key that references it.
+        self._group_fragments: dict = {}
+        self._accel_fragments: dict = {}
+
+    # ------------------------------------------------------------------
+
+    def key_hash(self, group: "LayerGroup", n: int,
+                 accel: "AcceleratorConfig", mode: str) -> str:
+        """Memoized :func:`plan_key_hash` for this store instance."""
+        memo_key = (group, n, accel, mode)
+        cached = self._hash_memo.get(memo_key)
+        if cached is None:
+            group_json = self._group_fragments.get(group)
+            if group_json is None:
+                group_json = _group_fragment(group)
+                self._group_fragments[group] = group_json
+            accel_json = self._accel_fragments.get(accel)
+            if accel_json is None:
+                accel_json = _accel_fragment(accel)
+                self._accel_fragments[accel] = accel_json
+            text = _compose_key_text(group_json, n, accel_json, mode)
+            cached = hashlib.sha256(text.encode("utf-8")).hexdigest()
+            self._hash_memo[memo_key] = cached
+        return cached
+
+    def shard_files(self) -> list[pathlib.Path]:
+        """All shard files currently in the store, sorted by name."""
+        return sorted(self.path.glob(f"{_SHARD_PREFIX}*{_SHARD_SUFFIX}"))
+
+    # ------------------------------------------------------------------
+
+    def load(self) -> dict[str, Optional["GroupPlan"]]:
+        """Read every valid shard into a ``key hash -> plan`` table.
+
+        Corrupted/truncated files and shards from another schema version
+        are skipped (recorded in :attr:`skipped_files`), never fatal: a
+        bad store degrades to a cold start.
+        """
+        from ..io.serialize import plan_from_record
+        entries: dict[str, Optional["GroupPlan"]] = {}
+        self.skipped_files = []
+        for shard in self.shard_files():
+            try:
+                payload = json.loads(shard.read_text())
+            except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+                self.skipped_files.append((shard, "corrupt"))
+                continue
+            if (not isinstance(payload, dict)
+                    or payload.get("schema") != self.schema_version
+                    or not isinstance(payload.get("entries"), dict)):
+                self.skipped_files.append((shard, "schema"))
+                continue
+            try:
+                entries.update({
+                    key: None if record is None else plan_from_record(record)
+                    for key, record in payload["entries"].items()
+                })
+            except (KeyError, TypeError):
+                self.skipped_files.append((shard, "corrupt"))
+        return entries
+
+    def flush(self, entries: dict[str, Optional["GroupPlan"]],
+              ) -> pathlib.Path | None:
+        """Atomically persist ``entries`` as one new shard.
+
+        Returns the shard path, or None when there is nothing to write.
+        The shard name is a digest of its content, so concurrent flushes
+        of the same entries from different workers are idempotent.
+        """
+        from ..io.serialize import plan_to_record
+        if not entries:
+            return None
+        payload = {
+            "schema": self.schema_version,
+            "entries": {
+                key: None if plan is None else plan_to_record(plan)
+                for key, plan in entries.items()
+            },
+        }
+        text = json.dumps(payload, sort_keys=True)
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+        shard = self.path / f"{_SHARD_PREFIX}{digest}{_SHARD_SUFFIX}"
+        if shard.exists():
+            return shard  # identical content already persisted
+        tmp = self.path / (
+            f".{_SHARD_PREFIX}{digest}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
+        tmp.write_text(text)
+        os.replace(tmp, shard)
+        return shard
+
+    def compact(self) -> pathlib.Path | None:
+        """Merge every valid shard into one and remove the merged sources.
+
+        Bounds the file count after many incremental flushes.  Concurrent
+        readers are safe (the merged shard lands atomically before the
+        sources disappear, and duplicate entries are identical by key);
+        invalid files are left in place for inspection.
+        """
+        sources = self.shard_files()
+        entries = self.load()
+        if not entries:
+            return None
+        skipped = {path for path, _ in self.skipped_files}
+        merged = self.flush(entries)
+        for shard in sources:
+            if shard != merged and shard not in skipped:
+                try:
+                    shard.unlink()
+                except OSError:  # pragma: no cover - concurrent compaction
+                    pass
+        return merged

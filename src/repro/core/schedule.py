@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..arch import MCMPackage, NoPTransfer, transfer_cost
+from ..arch import MCMPackage, NoPTransfer, min_hop_map, transfer_cost
 from ..workloads.graph import LayerGroup, PerceptionWorkload
 from .sharding import GroupPlan
 
@@ -72,6 +72,17 @@ class Schedule:
     tolerance: float
     base_latency_s: float
     trace: list[TraceStep] = field(default_factory=list)
+    # Memos for the derived metrics below.  A Schedule is immutable once
+    # the matcher returns it, and summary()/e2e accounting re-derive the
+    # same NoP edges and busy map several times per call without these.
+    _edge_memo: dict = field(default_factory=dict, init=False, repr=False,
+                             compare=False)
+    _hop_map_memo: dict = field(default_factory=dict, init=False,
+                                repr=False, compare=False)
+    _nop_edges_memo: list | None = field(default=None, init=False,
+                                         repr=False, compare=False)
+    _pipe_latency_memo: float | None = field(default=None, init=False,
+                                             repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -119,7 +130,9 @@ class Schedule:
 
     @property
     def pipe_latency_s(self) -> float:
-        return max(self.chiplet_busy().values())
+        if self._pipe_latency_memo is None:
+            self._pipe_latency_memo = max(self.chiplet_busy().values())
+        return self._pipe_latency_memo
 
     # ------------------------------------------------------------------
     # NoP traffic
@@ -130,23 +143,43 @@ class Schedule:
 
     def _edge(self, src: str, dst: str) -> NoPEdge:
         """Price the transfer of src's output into dst's chiplets."""
+        memo = self._edge_memo.get((src, dst))
+        if memo is not None:
+            return memo
         src_group = self.workload.find_group(src)
         payload = self._group_output_bytes(src_group)
         src_ids = self.chiplets_of(src)
         dst_ids = self.chiplets_of(dst)
         per_src = payload / max(1, len(src_ids))
+        # One distance map from the destination set prices every source
+        # chiplet's nearest-hop count in O(mesh cells), replacing the
+        # former O(src * dst) pairwise minimum (same hop values by
+        # construction).  Several edges often share a destination set,
+        # so the map is memoized per destination tuple.
+        hop_map = self._hop_map_memo.get(dst_ids)
+        if hop_map is None:
+            hop_map = min_hop_map(
+                self.package.mesh_w, self.package.mesh_h,
+                [(c.x, c.y) for c in map(self.package.chiplet, dst_ids)])
+            self._hop_map_memo[dst_ids] = hop_map
         total_lat = 0.0
         total_energy = 0.0
         hop_sum = 0.0
+        by_hops: dict[int, NoPTransfer] = {}  # few distinct hop counts
         for sid in src_ids:
-            hops = min(self.package.hops(sid, did) for did in dst_ids)
-            t: NoPTransfer = transfer_cost(int(per_src), hops,
-                                           self.package.nop)
+            chiplet = self.package.chiplet(sid)
+            hops = hop_map[chiplet.x][chiplet.y]
+            t = by_hops.get(hops)
+            if t is None:
+                t = transfer_cost(int(per_src), hops, self.package.nop)
+                by_hops[hops] = t
             total_lat = max(total_lat, t.latency_s)
             total_energy += t.energy_j
             hop_sum += hops
-        return NoPEdge(src, dst, payload, hop_sum / max(1, len(src_ids)),
+        edge = NoPEdge(src, dst, payload, hop_sum / max(1, len(src_ids)),
                        total_lat, total_energy)
+        self._edge_memo[(src, dst)] = edge
+        return edge
 
     def _pipeline_internal_edge(self, name: str) -> NoPEdge | None:
         gs = self.groups[name]
@@ -169,6 +202,8 @@ class Schedule:
 
     def nop_edges(self) -> list[NoPEdge]:
         """All inter-group and pipeline-internal NoP transfers."""
+        if self._nop_edges_memo is not None:
+            return self._nop_edges_memo
         edges: list[NoPEdge] = []
         for stage in self.workload.stages:
             for group in stage.groups:
@@ -186,6 +221,7 @@ class Schedule:
             for t in terminals:
                 for s in sources:
                     edges.append(self._edge(t.name, s.name))
+        self._nop_edges_memo = edges
         return edges
 
     @property

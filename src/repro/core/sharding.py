@@ -84,35 +84,56 @@ def _balanced_segments(latencies: list[float], k: int) -> list[int]:
     """Contiguous min-max partition of a latency chain into ``k`` segments.
 
     Returns segment boundaries as a list of start indices (length k).
-    Uses dynamic programming; chains are at most a few hundred layers.
+    Implemented as a parametric binary search over the max-segment bound
+    (feasibility checked by a greedy O(n) packing), which replaces the
+    former O(k*n^2) dynamic program: the bound is bisected to float
+    adjacency, so the returned partition's max segment is the exact
+    optimum, in O(n log(sum/ulp)) time.
     """
     n = len(latencies)
     if k >= n:
-        return list(range(n))[:k] if k <= n else list(range(n))
-    prefix = [0.0]
-    for lat in latencies:
-        prefix.append(prefix[-1] + lat)
+        return list(range(n))
 
-    inf = float("inf")
-    # cost[j][i]: min possible max-segment over first i layers in j segments
-    cost = [[inf] * (n + 1) for _ in range(k + 1)]
-    cut = [[0] * (n + 1) for _ in range(k + 1)]
-    cost[0][0] = 0.0
-    for j in range(1, k + 1):
-        for i in range(j, n + 1):
-            for m in range(j - 1, i):
-                seg = prefix[i] - prefix[m]
-                val = max(cost[j - 1][m], seg)
-                if val < cost[j][i]:
-                    cost[j][i] = val
-                    cut[j][i] = m
-    bounds = []
-    i = n
-    for j in range(k, 0, -1):
-        m = cut[j][i]
-        bounds.append(m)
-        i = m
-    return sorted(bounds)
+    def segments_needed(bound: float) -> int:
+        """Fewest contiguous segments with every segment sum <= bound."""
+        count, acc = 1, 0.0
+        for lat in latencies:
+            if acc + lat > bound:
+                count += 1
+                acc = lat
+            else:
+                acc += lat
+        return count
+
+    # Feasibility is monotone in the bound: bisect [max, sum] down to
+    # adjacent floats, leaving ``hi`` as the smallest feasible bound.
+    lo, hi = max(latencies), sum(latencies)
+    if segments_needed(lo) <= k:
+        best = lo
+    else:
+        while True:
+            mid = (lo + hi) / 2
+            if not lo < mid < hi:
+                break
+            if segments_needed(mid) <= k:
+                hi = mid
+            else:
+                lo = mid
+        best = hi
+
+    # Re-pack greedily under the optimal bound, forcing early cuts when
+    # the remaining layers are only just enough to keep every remaining
+    # segment non-empty (a forced single-layer segment is <= max <= best).
+    bounds = [0]
+    acc = 0.0
+    for i, lat in enumerate(latencies):
+        if i > 0 and len(bounds) < k and (
+                n - i == k - len(bounds) or acc + lat > best):
+            bounds.append(i)
+            acc = lat
+        else:
+            acc += lat
+    return bounds
 
 
 def _instance_counts(instances: int, n: int) -> list[int]:
@@ -158,12 +179,26 @@ def _plan_rows(group: LayerGroup, n: int,
         return None
     if n > max_row_shards(group):
         return None
+    # Splitting a plane of S rows n ways yields only two distinct band
+    # shapes — S % n bands of S//n + 1 rows, the rest of S//n — so it
+    # suffices to price <= 2 bands per layer and assemble the n chain
+    # sums arithmetically, instead of pricing all n chains.  Summation
+    # runs in the same (layer, then shard-index) order as pricing each
+    # chain would, so the resulting plan is bit-identical.
+    bands = []
+    for layer in group.layers:
+        size = layer.out_h if layer.out_h > 1 else layer.out_w
+        extra = size % n
+        big = evaluate(split_plane(layer, n, 0), accel) if extra else None
+        small = evaluate(split_plane(layer, n, extra), accel)
+        bands.append((extra, big, small))
     busy = []
     energy = 0.0
     for idx in range(n):
-        shard = [split_plane(l, n, idx) for l in group.layers]
-        busy.append(chain_latency_s(shard, accel))
-        energy += chain_energy_j(shard, accel)
+        chain = [big if idx < extra else small
+                 for extra, big, small in bands]
+        busy.append(sum(c.latency_s for c in chain))
+        energy += sum(c.energy_j for c in chain)
     return GroupPlan(
         group_name=group.name,
         n_chiplets=n,

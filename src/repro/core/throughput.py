@@ -51,6 +51,16 @@ class _State:
     trace: list[TraceStep]
     step: int = 0
 
+    def __post_init__(self) -> None:
+        # Colocated groups keep their 1-chiplet plans for the whole run,
+        # so each host's extra span is a constant: sum it once instead of
+        # rescanning the colocation map on every effective_pipe call
+        # (which record() issues for every group on every trace step).
+        self._hosted_extra: dict[str, float] = {}
+        for guest, host in self.colocated.items():
+            self._hosted_extra[host] = (self._hosted_extra.get(host, 0.0)
+                                        + self.plans[guest].span_s)
+
     def stage_of(self, group_name: str) -> str:
         return self.workload.find_group(group_name).stage
 
@@ -69,10 +79,8 @@ class _State:
     def effective_pipe(self, group: LayerGroup) -> float:
         """Group pipe latency plus any colocated spans it hosts."""
         pipe = self.plans[group.name].pipe_latency_s
-        hosted = sum(self.plans[g].span_s
-                     for g, host in self.colocated.items()
-                     if host == group.name)
-        return pipe + hosted
+        extra = self._hosted_extra.get(group.name)
+        return pipe if extra is None else pipe + extra
 
     def global_pipe_s(self) -> float:
         return max(self.effective_pipe(g)

@@ -70,6 +70,19 @@ class AcceleratorConfig:
     gb_bytes: int = 2 * 1024 * 1024
     energy: EnergyTable = ENERGY_28NM
 
+    def __hash__(self) -> int:
+        # Accelerator configs ride in every evaluate()/plan-cache key;
+        # cache the structural hash (fields mirror the generated __eq__).
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.name, self.pe_count, self.dataflow,
+                      self.frequency_hz, self.native_tile,
+                      self.gb_words_per_cycle, self.pe_cache_words,
+                      self.reduction_drain_cycles, self.vector_lanes,
+                      self.gb_bytes, self.energy))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     def __post_init__(self) -> None:
         if self.dataflow not in _STYLES:
             raise ValueError(f"unknown dataflow style {self.dataflow!r}")

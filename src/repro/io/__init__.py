@@ -2,9 +2,12 @@
 
 from .report import generate_report
 from .serialize import (
+    accel_to_dict,
     group_to_dict,
     layer_to_dict,
+    plan_from_record,
     plan_to_dict,
+    plan_to_record,
     save_schedule,
     save_sweep,
     schedule_to_dict,
@@ -13,9 +16,12 @@ from .serialize import (
 
 __all__ = [
     "generate_report",
+    "accel_to_dict",
     "group_to_dict",
     "layer_to_dict",
+    "plan_from_record",
     "plan_to_dict",
+    "plan_to_record",
     "save_schedule",
     "save_sweep",
     "schedule_to_dict",

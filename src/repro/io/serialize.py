@@ -8,11 +8,13 @@ field so external consumers do not need this package to read them.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import pathlib
 
 from ..core.schedule import Schedule
 from ..core.sharding import GroupPlan
+from ..cost import AcceleratorConfig
 from ..workloads.graph import LayerGroup, PerceptionWorkload
 from ..workloads.layers import Layer
 
@@ -29,6 +31,7 @@ def layer_to_dict(layer: Layer) -> dict:
         "r": layer.r,
         "s": layer.s,
         "stride": layer.stride,
+        "weights_are_activations": layer.weights_are_activations,
         "macs": layer.macs,
         "weight_words": layer.weight_words,
         "output_words": layer.output_words,
@@ -59,6 +62,47 @@ def workload_to_dict(workload: PerceptionWorkload) -> dict:
         ],
         "total_macs": workload.total_macs,
     }
+
+
+def accel_to_dict(accel: AcceleratorConfig) -> dict:
+    """One accelerator config (nested energy table included), JSON-safe."""
+    payload = dataclasses.asdict(accel)
+    payload["native_tile"] = list(accel.native_tile)
+    return payload
+
+
+def plan_to_record(plan: GroupPlan) -> dict:
+    """Exact round-trip form of a :class:`GroupPlan` (plan-store entries).
+
+    Unlike :func:`plan_to_dict` (a report view in milliseconds), this keeps
+    every dataclass field verbatim in its native unit, so
+    ``plan_from_record(plan_to_record(p)) == p`` holds bit-for-bit — JSON
+    floats serialize via ``repr`` and round-trip exactly.
+    """
+    return {
+        "group_name": plan.group_name,
+        "n_chiplets": plan.n_chiplets,
+        "mode": plan.mode,
+        "per_chiplet_busy": list(plan.per_chiplet_busy),
+        "span_s": plan.span_s,
+        "energy_j": plan.energy_j,
+        "macs": plan.macs,
+        "segments": plan.segments,
+    }
+
+
+def plan_from_record(record: dict) -> GroupPlan:
+    """Inverse of :func:`plan_to_record`."""
+    return GroupPlan(
+        group_name=record["group_name"],
+        n_chiplets=record["n_chiplets"],
+        mode=record["mode"],
+        per_chiplet_busy=tuple(record["per_chiplet_busy"]),
+        span_s=record["span_s"],
+        energy_j=record["energy_j"],
+        macs=record["macs"],
+        segments=record["segments"],
+    )
 
 
 def plan_to_dict(plan: GroupPlan) -> dict:

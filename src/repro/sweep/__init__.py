@@ -1,6 +1,14 @@
 """Parallel scenario-sweep engine over the scheduler and trunk DSE."""
 
-from .runner import ScenarioSweep, SweepResult, run_scenario, run_sweep
+from .runner import (
+    ScenarioSweep,
+    SweepOutcome,
+    SweepResult,
+    clear_trunk_memo,
+    layer_cost_cache_stats,
+    run_scenario,
+    run_sweep,
+)
 from .scenario import (
     WORKLOAD_VARIANTS,
     Scenario,
@@ -11,7 +19,10 @@ from .scenario import (
 
 __all__ = [
     "ScenarioSweep",
+    "SweepOutcome",
     "SweepResult",
+    "clear_trunk_memo",
+    "layer_cost_cache_stats",
     "run_scenario",
     "run_sweep",
     "WORKLOAD_VARIANTS",

@@ -1,4 +1,4 @@
-"""Parallel scenario-sweep engine.
+"""Parallel scenario-sweep engine with streaming delivery and a plan store.
 
 :class:`ScenarioSweep` fans a grid of :class:`~repro.sweep.scenario.Scenario`
 points across worker processes and merges the results deterministically:
@@ -6,15 +6,24 @@ points across worker processes and merges the results deterministically:
 * every scenario is priced by :func:`run_scenario`, a pure function of the
   scenario (the schedulers and cost model are deterministic), so the same
   grid produces identical rows whether it runs serially or on N workers;
-* workers return ``(key, row, cache_delta)`` tuples that are merged by
-  scenario key, then emitted in the grid's canonical order — completion
-  order never leaks into the output, which is what makes the serial and
-  parallel paths byte-identical once serialized;
+* workers return :class:`SweepOutcome` records that are merged by scenario
+  key, then emitted in the grid's canonical order — completion order never
+  leaks into the output, which is what makes the serial, parallel, and
+  streaming paths byte-identical once serialized;
+* :meth:`ScenarioSweep.run_iter` streams outcomes as they finish (serially,
+  or over ``as_completed`` futures), so huge grids report rows as they
+  land; :meth:`ScenarioSweep.run` is literally ``merge(run_iter())``, which
+  is why the batch artifact and the collected stream are the same bytes;
+* ``store_path`` layers a :class:`~repro.core.planstore.PlanStore` under
+  every worker's plan cache: workers warm-start from disk and flush their
+  newly computed plans back after each scenario, so plan pricing amortizes
+  across processes *and* runs;
 * each worker process owns its own process-wide
-  :class:`~repro.core.plancache.PlanCache`; per-scenario hit/miss deltas
-  are summed into the sweep report, so cache effectiveness is visible in
-  artifacts (the *split* between hits and misses depends on which worker
-  priced which scenario first and is intentionally excluded from the
+  :class:`~repro.core.plancache.PlanCache` and layer-cost ``evaluate``
+  memo; per-scenario hit/miss deltas for both are summed into the sweep
+  report, so the effectiveness of both memo layers is visible in artifacts
+  (the *split* between hits and misses depends on which worker priced
+  which scenario first and is intentionally excluded from the
   deterministic row payload).
 """
 
@@ -23,13 +32,17 @@ from __future__ import annotations
 import functools
 import json
 import operator
-from concurrent.futures import ProcessPoolExecutor
+import pathlib
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
 from ..arch import NoPConfig, simba_package
 from ..core.dse import TrunkDSE
-from ..core.plancache import CacheStats, plan_cache_stats
+from ..core.plancache import CacheStats, get_plan_cache, plan_cache_stats
+from ..core.planstore import PlanStore
 from ..core.throughput import ThroughputMatcher
+from ..cost.model import evaluate
 from ..workloads.pipeline import STAGE_TR, build_perception_workload
 from .scenario import Scenario, workload_variant
 
@@ -37,6 +50,17 @@ from .scenario import Scenario, workload_variant
 _SUMMARY_FIELDS = ("e2e_ms", "pipe_ms", "energy_j", "edp_j_ms",
                    "utilization", "nop_latency_ms", "nop_energy_j",
                    "used_chiplets")
+
+
+def layer_cost_cache_stats() -> CacheStats:
+    """This process's layer-cost ``evaluate`` lru_cache counters.
+
+    Shaped as a :class:`CacheStats` so sweep reports can surface both memo
+    layers (group plans and layer costs) side by side.
+    """
+    info = evaluate.cache_info()
+    return CacheStats(hits=info.hits, misses=info.misses,
+                      entries=info.currsize)
 
 
 def run_scenario(scenario: Scenario) -> dict:
@@ -79,6 +103,11 @@ def run_scenario(scenario: Scenario) -> dict:
 _TRUNK_MEMO: dict[tuple, dict] = {}
 
 
+def clear_trunk_memo() -> None:
+    """Reset the per-process trunk-DSE memo (cold-start measurements)."""
+    _TRUNK_MEMO.clear()
+
+
 def _trunk_columns(variant: str, workload, ws_budget: int,
                    l_cstr_s: float, chiplets: int) -> dict:
     if ws_budget > chiplets:
@@ -100,13 +129,70 @@ def _trunk_columns(variant: str, workload, ws_budget: int,
     return dict(_TRUNK_MEMO[key])
 
 
-def _run_with_stats(scenario: Scenario) -> tuple[str, dict, CacheStats]:
-    """Worker entry point: row plus this scenario's plan-cache delta."""
-    before = plan_cache_stats()
+@dataclass(frozen=True)
+class SweepOutcome:
+    """One completed scenario: its row plus this run's memo deltas."""
+
+    key: str
+    row: dict
+    #: plan-cache counter delta attributable to this scenario
+    plan_cache: CacheStats
+    #: layer-cost ``evaluate`` counter delta attributable to this scenario
+    layer_cache: CacheStats
+
+
+def _attach_store(store_path) -> bool:
+    """Attach a PlanStore to this process's plan cache.
+
+    Idempotent for the same directory; refuses to silently serve (and
+    flush) a different store than the one requested.
+    """
+    cache = get_plan_cache()
+    if store_path is None:
+        return False
+    attached = cache.store
+    if attached is not None:
+        if pathlib.Path(store_path) == attached.path:
+            return False
+        raise RuntimeError(
+            f"plan cache is already attached to store {attached.path}; "
+            f"cannot attach {store_path} (detach the first store or run "
+            f"the sweeps sequentially)")
+    cache.attach_store(PlanStore(store_path))
+    return True
+
+
+def _worker_init(store_path) -> None:
+    """Pool initializer: warm-start the worker's plan cache from disk."""
+    _attach_store(store_path)
+
+
+def _run_one(scenario: Scenario) -> SweepOutcome:
+    """Price one scenario and capture both memo layers' deltas.
+
+    When a store is attached, the plans this scenario introduced are
+    flushed immediately — an atomic shard write that concurrent workers
+    sharing the directory tolerate without locks — so even a crashed or
+    cancelled sweep leaves its completed work warm on disk.
+    """
+    plan_before = plan_cache_stats()
+    layer_before = layer_cost_cache_stats()
     row = run_scenario(scenario)
     # The counter delta is this scenario's; entries reflect the worker's
     # table after the run (CacheStats.__sub__ keeps the minuend's).
-    return scenario.key, row, plan_cache_stats() - before
+    outcome = SweepOutcome(
+        key=scenario.key,
+        row=row,
+        plan_cache=plan_cache_stats() - plan_before,
+        layer_cache=layer_cost_cache_stats() - layer_before,
+    )
+    get_plan_cache().flush_to_store()
+    return outcome
+
+
+def _run_chunk(scenarios: list[Scenario]) -> list[SweepOutcome]:
+    """Worker entry point: price a chunk of scenarios."""
+    return [_run_one(s) for s in scenarios]
 
 
 @dataclass
@@ -118,21 +204,26 @@ class SweepResult:
     rows: list[dict]
     #: summed per-scenario plan-cache deltas across all workers.
     cache_stats: CacheStats
+    #: summed per-scenario layer-cost evaluate-cache deltas likewise.
+    layer_cache_stats: CacheStats
     parallel: bool
     workers: int
+    _row_index: dict | None = field(default=None, init=False, repr=False,
+                                    compare=False)
 
     def row(self, key: str) -> dict:
-        for r in self.rows:
-            if r["key"] == key:
-                return r
-        raise KeyError(key)
+        """The row for one scenario key (dict-indexed, built once)."""
+        if self._row_index is None:
+            self._row_index = {r["key"]: r for r in self.rows}
+        return self._row_index[key]
 
     def rows_json(self) -> str:
         """Canonical serialization of the deterministic payload.
 
-        Serial and parallel runs of the same grid produce byte-identical
-        output here (cache statistics are excluded on purpose: the
-        hit/miss split depends on work placement, the rows do not).
+        Serial, parallel, and streaming runs of the same grid produce
+        byte-identical output here (cache statistics are excluded on
+        purpose: the hit/miss split depends on work placement, the rows
+        do not).
         """
         return json.dumps({"rows": self.rows}, sort_keys=True, indent=2)
 
@@ -143,6 +234,7 @@ class SweepResult:
             "parallel": self.parallel,
             "workers": self.workers,
             "plan_cache": self.cache_stats.to_dict(),
+            "layer_cost_cache": self.layer_cache_stats.to_dict(),
         }
 
     def to_dict(self) -> dict:
@@ -155,45 +247,87 @@ class ScenarioSweep:
 
     scenarios: list[Scenario]
     workers: int = 1
-    #: optional chunk size forwarded to the executor's map.
+    #: scenarios shipped per worker task (streaming granularity).
     chunksize: int = field(default=1)
+    #: optional directory of a shared, disk-backed plan store: workers
+    #: warm-start from it and flush newly computed plans back.
+    store_path: str | pathlib.Path | None = None
 
     def __post_init__(self) -> None:
         if not self.scenarios:
             raise ValueError("sweep needs at least one scenario")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
         keys = [s.key for s in self.scenarios]
         if len(set(keys)) != len(keys):
             raise ValueError("scenario keys must be unique")
 
     # ------------------------------------------------------------------
 
-    def run(self) -> SweepResult:
-        """Execute the grid and merge results in canonical order."""
+    def run_iter(self) -> Iterator[SweepOutcome]:
+        """Yield one :class:`SweepOutcome` per scenario as each finishes.
+
+        Serial runs yield in grid order; parallel runs yield in completion
+        order over ``as_completed`` futures.  Feed the collected outcomes
+        to :meth:`merge` for the canonical result — byte-identical to
+        :meth:`run`, which is implemented exactly that way.
+        """
         if self.workers == 1:
-            outcomes = [_run_with_stats(s) for s in self.scenarios]
-        else:
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                outcomes = list(pool.map(_run_with_stats, self.scenarios,
-                                         chunksize=self.chunksize))
-        by_key = {key: row for key, row, _ in outcomes}
+            attached = _attach_store(self.store_path)
+            try:
+                for scenario in self.scenarios:
+                    yield _run_one(scenario)
+            finally:
+                if attached:
+                    get_plan_cache().detach_store()
+            return
+        chunks = [self.scenarios[i:i + self.chunksize]
+                  for i in range(0, len(self.scenarios), self.chunksize)]
+        pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_worker_init,
+            initargs=(self.store_path,))
+        try:
+            futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
+            for future in as_completed(futures):
+                yield from future.result()
+        finally:
+            # A consumer that abandons the stream (or a chunk that
+            # raises) must not block on the rest of the grid: drop every
+            # not-yet-started chunk before waiting out the in-flight ones.
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def merge(self, outcomes: Iterable[SweepOutcome]) -> SweepResult:
+        """Merge outcomes (any order) into the canonical-order result."""
+        outcomes = list(outcomes)
+        by_key = {o.key: o.row for o in outcomes}
         missing = [s.key for s in self.scenarios if s.key not in by_key]
         if missing:
             raise RuntimeError(f"scenarios produced no result: {missing}")
         # CacheStats.__add__ sums the counters and keeps the largest
         # per-process table size (tables are per-worker).
-        stats = functools.reduce(operator.add,
-                                 (d for _, _, d in outcomes))
+        plan_stats = functools.reduce(
+            operator.add, (o.plan_cache for o in outcomes))
+        layer_stats = functools.reduce(
+            operator.add, (o.layer_cache for o in outcomes))
         return SweepResult(
             scenarios=list(self.scenarios),
             rows=[by_key[s.key] for s in self.scenarios],
-            cache_stats=stats,
+            cache_stats=plan_stats,
+            layer_cache_stats=layer_stats,
             parallel=self.workers > 1,
             workers=self.workers,
         )
 
+    def run(self) -> SweepResult:
+        """Execute the grid and merge results in canonical order."""
+        return self.merge(self.run_iter())
 
-def run_sweep(scenarios: list[Scenario], workers: int = 1) -> SweepResult:
+
+def run_sweep(scenarios: list[Scenario], workers: int = 1,
+              store_path: str | pathlib.Path | None = None) -> SweepResult:
     """Convenience wrapper: build and run a :class:`ScenarioSweep`."""
-    return ScenarioSweep(scenarios, workers=workers).run()
+    return ScenarioSweep(scenarios, workers=workers,
+                         store_path=store_path).run()

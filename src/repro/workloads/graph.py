@@ -43,6 +43,18 @@ class LayerGroup:
         if self.instances < 1:
             raise ValueError(f"group {self.name}: instances must be >= 1")
 
+    def __hash__(self) -> int:
+        # Groups key the shared plan cache; the structural hash walks the
+        # whole layer chain, so cache it per instance (the fields mirror
+        # the generated __eq__).
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.name, self.layers, self.stage, self.instances,
+                      self.instance_axis, self.depends_on,
+                      self.row_shardable, self.pipeline_splittable))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     @property
     def macs_per_instance(self) -> int:
         return total_macs(self.layers)

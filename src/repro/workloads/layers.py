@@ -102,6 +102,19 @@ class Layer:
         if self.kind is LayerKind.DWCONV and self.c != 1:
             raise ValueError(f"{self.name}: depthwise conv requires c == 1")
 
+    def __hash__(self) -> int:
+        # Layers are deep-frozen and hashed constantly: every evaluate()
+        # memo probe and every plan-cache key hashes the layer chain.
+        # Cache the structural hash per instance (same fields the
+        # generated __eq__ compares; ``tags`` is excluded from both).
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.name, self.kind, self.out_h, self.out_w,
+                      self.k, self.c, self.r, self.s, self.stride,
+                      self.weights_are_activations))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     # ------------------------------------------------------------------
     # Derived sizes (fp16 words)
     # ------------------------------------------------------------------

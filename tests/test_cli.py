@@ -64,3 +64,51 @@ class TestSweepCli:
     def test_experiment_rejects_stray_arguments(self):
         with pytest.raises(SystemExit):
             main(["fig11", "--tolerances", "1.0"])
+
+    def test_sweep_stream_prints_rows_then_report(self, capsys):
+        assert main(["sweep", "--tolerances", "1.0,1.1", "--stream"]) == 0
+        out = capsys.readouterr().out
+        assert "[1/2]" in out and "[2/2]" in out
+        assert "Scenario sweep (2 scenarios" in out
+        assert "layer-cost cache:" in out
+
+    def test_sweep_stream_json_emits_row_lines(self, capsys):
+        assert main(["sweep", "--tolerances", "1.0,1.1",
+                     "--stream", "--json"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        rows = [json.loads(lines[0]), json.loads(lines[1])]
+        assert {r["tolerance"] for r in rows} == {1.0, 1.1}
+        summary = json.loads("\n".join(lines[2:]))
+        assert summary["summary"]["scenarios"] == 2
+
+    def test_sweep_stream_artifact_matches_batch(self, tmp_path, capsys):
+        batch = tmp_path / "batch.json"
+        streamed = tmp_path / "streamed.json"
+        assert main(["sweep", "--tolerances", "1.0,1.1",
+                     "--output", str(batch)]) == 0
+        assert main(["sweep", "--tolerances", "1.0,1.1", "--stream",
+                     "--output", str(streamed)]) == 0
+        capsys.readouterr()
+        assert json.loads(batch.read_text())["rows"] == \
+            json.loads(streamed.read_text())["rows"]
+
+    def test_sweep_store_warm_start(self, tmp_path, capsys):
+        from repro.core import clear_plan_cache
+        from repro.cost import clear_cache
+        store = tmp_path / "store"
+        clear_cache()
+        clear_plan_cache()
+        assert main(["sweep", "--tolerances", "1.0",
+                     "--store", str(store), "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["summary"]["plan_cache"]["misses"] > 0
+        assert list(store.glob("plans-*.json"))
+        # fresh in-memory caches, same store: everything from disk
+        clear_cache()
+        clear_plan_cache()
+        assert main(["sweep", "--tolerances", "1.0",
+                     "--store", str(store), "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["summary"]["plan_cache"]["misses"] == 0
+        assert second["summary"]["plan_cache"]["store_hits"] > 0
+        assert second["rows"] == first["rows"]

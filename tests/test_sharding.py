@@ -66,6 +66,33 @@ class TestBalancedSegments:
             for cuts in itertools.combinations(range(1, len(lats)), k - 1))
         assert max(segs) == pytest.approx(best)
 
+    def test_always_k_nonempty_segments_at_optimal_minmax(self):
+        # The binary search must deliver exactly k non-empty segments
+        # whose max equals the brute-force optimum on random chains.
+        import itertools
+        import random
+        rng = random.Random(7)
+        for trial in range(25):
+            n = rng.randint(2, 9)
+            lats = [rng.uniform(0.1, 10.0) for _ in range(n)]
+            k = rng.randint(1, n)
+            bounds = _balanced_segments(lats, k)
+            assert bounds[0] == 0 and len(bounds) == k
+            assert bounds == sorted(set(bounds))
+            segs = [sum(lats[a:b]) for a, b in
+                    zip(bounds, bounds[1:] + [n])]
+            assert all(s > 0 for s in segs)
+            best = min(
+                max(sum(lats[a:b]) for a, b in
+                    zip((0,) + cuts, cuts + (n,)))
+                for cuts in itertools.combinations(range(1, n), k - 1))
+            assert max(segs) == pytest.approx(best, rel=1e-12)
+
+    def test_degenerate_k(self):
+        assert _balanced_segments([2.0, 3.0], 1) == [0]
+        assert _balanced_segments([2.0, 3.0, 4.0], 3) == [0, 1, 2]
+        assert _balanced_segments([2.0], 5) == [0]
+
 
 class TestPlanGroup:
     def test_single_plan(self, os_accel):
@@ -121,6 +148,62 @@ class TestPlanGroup:
         g = _group(layers=(dense("a", (40, 80), 8, 8),
                            dense("b", (10, 80), 8, 8)))
         assert max_row_shards(g) == 10
+
+
+class TestRowPlanFastPath:
+    """_plan_rows prices <= 2 band shapes per layer, not all n chains."""
+
+    def _reference_rows_plan(self, group, n, accel):
+        """The seed implementation: price every shard chain."""
+        from repro.cost import chain_energy_j, chain_latency_s
+        busy = []
+        energy = 0.0
+        for idx in range(n):
+            shard = [split_plane(l, n, idx) for l in group.layers]
+            busy.append(chain_latency_s(shard, accel))
+            energy += chain_energy_j(shard, accel)
+        return tuple(busy), energy
+
+    def test_plans_numerically_identical_to_seed(self, os_accel):
+        from repro.core.sharding import _plan_rows
+        groups = [
+            _group(),
+            _group(layers=(dense("t", (1, 1000), 64, 64),)),  # 1D tokens
+            _group(layers=(conv("c", (37, 80), 64, 64),
+                           dense("d", (10, 80), 32, 32))),
+        ]
+        for g in groups:
+            for n in (2, 3, 5, 7):
+                if n > max_row_shards(g):
+                    continue
+                plan = _plan_rows(g, n, os_accel)
+                busy, energy = self._reference_rows_plan(g, n, os_accel)
+                assert plan.per_chiplet_busy == busy  # bit-exact
+                assert plan.energy_j == energy
+                assert plan.span_s == max(busy)
+
+    def test_chain_pricings_constant_in_n(self, os_accel, monkeypatch):
+        from repro.core import sharding as sharding_mod
+        g = _group(layers=(dense("a", (40, 80), 64, 64),
+                           dense("b", (40, 80), 64, 64)))
+        counts = {"calls": 0}
+        real_evaluate = sharding_mod.evaluate
+
+        def counting_evaluate(layer, accel):
+            counts["calls"] += 1
+            return real_evaluate(layer, accel)
+
+        monkeypatch.setattr(sharding_mod, "evaluate", counting_evaluate)
+        calls_per_n = {}
+        for n in (4, 13, 37):
+            counts["calls"] = 0
+            sharding_mod._plan_rows(g, n, os_accel)
+            calls_per_n[n] = counts["calls"]
+        # <= 2 pricings per layer, independent of the shard count (an
+        # even split needs just one band shape per layer).
+        assert all(c <= 2 * len(g.layers) for c in calls_per_n.values())
+        assert calls_per_n[4] == 1 * len(g.layers)   # 40 % 4 == 0
+        assert calls_per_n[13] == calls_per_n[37] == 2 * len(g.layers)
 
 
 class TestNextShardStep:

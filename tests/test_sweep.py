@@ -127,3 +127,119 @@ class TestScenarioSweep:
         # sorted-key serialization is reproducible byte-for-byte
         save_sweep(result, tmp_path / "sweep2.json")
         assert out.read_text() == (tmp_path / "sweep2.json").read_text()
+
+    def test_row_lookup_is_keyed(self, grid):
+        result = ScenarioSweep(grid, workers=1).run()
+        for s in grid:
+            assert result.row(s.key)["key"] == s.key
+        with pytest.raises(KeyError):
+            result.row("no-such-key")
+
+    def test_summary_surfaces_both_memo_layers(self, grid):
+        # Cold caches so plan computation actually exercises evaluate().
+        from repro.core import clear_plan_cache
+        from repro.cost import clear_cache
+        clear_cache()
+        clear_plan_cache()
+        result = ScenarioSweep(grid, workers=1).run()
+        summary = result.summary()
+        assert "store_hits" in summary["plan_cache"]
+        layer = summary["layer_cost_cache"]
+        assert layer["hits"] + layer["misses"] > 0
+        assert layer["entries"] > 0
+
+
+class TestStreaming:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return scenario_grid(tolerances=(1.0, 1.05, 1.1))
+
+    def test_run_iter_yields_every_scenario(self, grid):
+        sweep = ScenarioSweep(grid, workers=1)
+        outcomes = list(sweep.run_iter())
+        assert [o.key for o in outcomes] == [s.key for s in grid]
+
+    def test_merged_stream_is_byte_identical_to_batch(self, grid):
+        batch = ScenarioSweep(grid, workers=1).run()
+        sweep = ScenarioSweep(grid, workers=2)
+        streamed = sweep.merge(sweep.run_iter())
+        assert streamed.rows_json() == batch.rows_json()
+
+    def test_merge_rejects_missing_scenarios(self, grid):
+        sweep = ScenarioSweep(grid, workers=1)
+        outcomes = list(sweep.run_iter())[1:]
+        with pytest.raises(RuntimeError):
+            sweep.merge(outcomes)
+
+    def test_chunked_dispatch_matches(self, grid):
+        batch = ScenarioSweep(grid, workers=1).run()
+        chunked = ScenarioSweep(grid, workers=2, chunksize=2).run()
+        assert chunked.rows_json() == batch.rows_json()
+
+
+class TestStoreBackedSweep:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return scenario_grid(tolerances=(1.0, 1.05),
+                             het_ws_budgets=(None, 2))
+
+    @staticmethod
+    def _cold():
+        from repro.core import clear_plan_cache
+        from repro.cost import clear_cache
+        from repro.sweep import clear_trunk_memo
+        clear_cache()
+        clear_plan_cache()
+        clear_trunk_memo()
+
+    def test_second_run_is_served_from_disk(self, grid, tmp_path):
+        store = tmp_path / "store"
+        self._cold()
+        first = ScenarioSweep(grid, workers=1, store_path=store).run()
+        assert first.cache_stats.misses > 0
+        self._cold()
+        second = ScenarioSweep(grid, workers=1, store_path=store).run()
+        assert second.cache_stats.misses == 0
+        assert second.cache_stats.store_hits > 0
+        assert second.rows_json() == first.rows_json()
+
+    def test_parallel_workers_share_one_store(self, grid, tmp_path):
+        store = tmp_path / "store"
+        self._cold()
+        first = ScenarioSweep(grid, workers=2, store_path=store).run()
+        second = ScenarioSweep(grid, workers=2, store_path=store).run()
+        assert second.cache_stats.misses == 0
+        assert second.rows_json() == first.rows_json()
+
+    def test_serial_run_detaches_the_global_cache(self, grid, tmp_path):
+        from repro.core import get_plan_cache
+        self._cold()
+        ScenarioSweep(grid[:1], workers=1,
+                      store_path=tmp_path / "store").run()
+        assert get_plan_cache().store is None
+
+    def test_conflicting_store_attachment_is_rejected(self, grid,
+                                                      tmp_path):
+        from repro.core import PlanStore, get_plan_cache
+        cache = get_plan_cache()
+        cache.attach_store(PlanStore(tmp_path / "store-a"))
+        try:
+            sweep = ScenarioSweep(grid[:1], workers=1,
+                                  store_path=tmp_path / "store-b")
+            with pytest.raises(RuntimeError, match="already attached"):
+                list(sweep.run_iter())
+            # same directory is fine (idempotent attach, kept attached)
+            ScenarioSweep(grid[:1], workers=1,
+                          store_path=tmp_path / "store-a").run()
+            assert cache.store is not None
+        finally:
+            cache.detach_store()
+
+    def test_abandoned_parallel_stream_does_not_hang(self, grid):
+        sweep = ScenarioSweep(grid, workers=2)
+        stream = sweep.run_iter()
+        first = next(stream)
+        assert first.row["pipe_ms"] > 0
+        stream.close()  # must cancel queued chunks, not run them all
+        # the engine stays usable afterwards
+        assert len(ScenarioSweep(grid[:1], workers=1).run().rows) == 1
