@@ -5,11 +5,14 @@ from .affinity import FIG4_BLOCKS, LayerAffinity, affinity_blocks, \
 from .breakdown import ComponentCost, component_breakdown, \
     fusion_latency_share
 from .layer_table import layer_cost_table, to_csv
-from .scaling import camera_sweep, frame_queue_sweep, resolution_sweep
+from .scaling import camera_sweep, chiplet_scaling_report, \
+    chiplet_scaling_rows, frame_queue_sweep, resolution_sweep
 
 __all__ = [
     "layer_cost_table",
     "to_csv",
+    "chiplet_scaling_report",
+    "chiplet_scaling_rows",
     "camera_sweep",
     "frame_queue_sweep",
     "resolution_sweep",

@@ -1,9 +1,18 @@
-"""Workload scaling studies (extensions beyond the paper's evaluation).
+"""Scaling studies: workload knobs and chiplet-count scaling reports.
 
 The paper fixes the workload at 8 cameras, 720p, and a 12-frame queue.
-These sweeps vary each knob and re-run the full scheduler, showing how the
-MCM mapping responds: where the FE-bound base latency moves, when the
-fusion stages reclaim the bottleneck, and how chiplet demand shifts.
+The workload sweeps below vary each knob and re-run the full scheduler,
+showing how the MCM mapping responds: where the FE-bound base latency
+moves, when the fusion stages reclaim the bottleneck, and how chiplet
+demand shifts.
+
+:func:`chiplet_scaling_rows` / :func:`chiplet_scaling_report` turn sweep
+rows over the ``npus x workload x dram_gbps`` axes into the first-class
+chiplet-count scaling report ("Chiplets on Wheels"-style): per
+(workload, DRAM budget) column, the speedup and scaling efficiency of
+adding NPU modules — and where an undersized DRAM interface flattens the
+curve, because past that point the package streams weights faster than
+LPDDR can deliver them.
 """
 
 from __future__ import annotations
@@ -15,6 +24,97 @@ from ..workloads.pipeline import PipelineConfig, build_perception_workload
 RESOLUTIONS = ((360, 640), (540, 960), (720, 1280), (1080, 1920))
 CAMERA_COUNTS = (4, 6, 8)
 FRAME_QUEUES = (6, 12, 18, 24)
+
+
+def _dram_label(dram_gbps: float | None) -> str:
+    """Column label for one DRAM budget (None = detached/compute-only)."""
+    return "unbounded" if dram_gbps is None else f"{dram_gbps:g} GB/s"
+
+
+def chiplet_scaling_rows(rows: list[dict]) -> list[dict]:
+    """Chiplet-count scaling table from ``npus x workload x dram`` rows.
+
+    Each input row is one sweep row (see
+    :func:`repro.sweep.runner.run_scenario`).  Output rows are grouped
+    into (workload, DRAM budget) columns; within a column, ``speedup``
+    is relative to the column's smallest package and
+    ``scaling_efficiency`` divides that by the added compute
+    (``npus / min npus``).  The output is a pure, deterministic function
+    of the input rows — safe to ship as an artifact.
+    """
+    columns: dict[tuple, list[dict]] = {}
+    for row in rows:
+        key = (row["workload"], row.get("dram_gbps"))
+        columns.setdefault(key, []).append(row)
+    out: list[dict] = []
+    for (workload, dram_gbps), col in sorted(
+            columns.items(),
+            key=lambda kv: (kv[0][0],
+                            kv[0][1] is not None, kv[0][1] or 0.0)):
+        col = sorted(col, key=lambda r: r["npus"])
+        base = col[0]
+        for row in col:
+            compute_pipe_ms = row.get("compute_pipe_ms", row["pipe_ms"])
+            speedup = base["pipe_ms"] / row["pipe_ms"]
+            added = row["npus"] / base["npus"]
+            out.append({
+                "workload": workload,
+                "dram": _dram_label(dram_gbps),
+                "dram_gbps": dram_gbps,
+                "npus": row["npus"],
+                "chiplets": row["used_chiplets"],
+                "pipe_ms": round(row["pipe_ms"], 2),
+                "compute_pipe_ms": round(compute_pipe_ms, 2),
+                "steady_fps": round(1e3 / row["pipe_ms"], 2),
+                "compute_fps": round(1e3 / compute_pipe_ms, 2),
+                "speedup": round(speedup, 3),
+                "scaling_efficiency": round(speedup / added, 3),
+                "energy_j": round(row["energy_j"], 3),
+                "dram_throttled": bool(row.get("dram_throttled", False)),
+            })
+    return out
+
+
+def chiplet_scaling_report(rows: list[dict]) -> dict:
+    """The full scaling-report document built from sweep rows.
+
+    Deterministic by construction (cache statistics and other
+    placement-dependent counters are deliberately excluded): running the
+    same grid twice — serially, in parallel, or streamed — produces the
+    same bytes once serialized with sorted keys.
+    """
+    table = chiplet_scaling_rows(rows)
+    throttled = [r for r in table if r["dram_throttled"]]
+    # ``table`` is already in canonical column order, so first-occurrence
+    # insertion order keeps dram_wall consistent with rows (sorting the
+    # label strings would misplace budgets >= 10 GB/s).
+    walls: dict[tuple, int] = {}
+    for r in throttled:
+        col = (r["workload"], r["dram"])
+        if col not in walls:
+            walls[col] = r["npus"]
+    return {
+        "axes": {
+            "npus": sorted({r["npus"] for r in rows}),
+            "workloads": sorted({r["workload"] for r in rows}),
+            "dram_gbps": sorted(
+                {r.get("dram_gbps") for r in rows
+                 if r.get("dram_gbps") is not None}) + (
+                     ["unbounded"] if any(
+                         r.get("dram_gbps") is None for r in rows) else []),
+        },
+        "rows": table,
+        "throttled_points": [
+            {"workload": r["workload"], "dram": r["dram"],
+             "npus": r["npus"], "steady_fps": r["steady_fps"],
+             "compute_fps": r["compute_fps"]}
+            for r in throttled
+        ],
+        "dram_wall": [
+            {"workload": wl, "dram": dram, "first_throttled_npus": n}
+            for (wl, dram), n in walls.items()
+        ],
+    }
 
 
 def _run(config: PipelineConfig, npus: int = 1) -> dict:

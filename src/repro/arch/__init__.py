@@ -8,6 +8,7 @@ from .dram import (
     camera_input_bytes,
     dram_report,
     weight_stream_bytes,
+    workload_dram_bytes,
 )
 from .nop import NOP_28NM, NoPConfig, NoPTransfer, transfer_cost
 from .package import MCMPackage, min_hop_map, simba_package
@@ -20,6 +21,7 @@ __all__ = [
     "camera_input_bytes",
     "dram_report",
     "weight_stream_bytes",
+    "workload_dram_bytes",
     "NOP_28NM",
     "NoPConfig",
     "NoPTransfer",

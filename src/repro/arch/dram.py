@@ -37,6 +37,24 @@ class DramBudget:
         if self.bandwidth_bytes_per_s <= 0:
             raise ValueError("DRAM bandwidth must be positive")
 
+    def stream_time_s(self, n_bytes: int | float) -> float:
+        """Seconds to stream ``n_bytes`` through the DRAM interface.
+
+        This is the per-frame DRAM service time the scheduler compares
+        against the compute pipe latency: when it is larger, DRAM — not
+        the chiplets — sets the steady-state frame rate.
+        """
+        if n_bytes < 0:
+            raise ValueError("byte count must be non-negative")
+        return n_bytes / self.bandwidth_bytes_per_s
+
+    def stream_energy_j(self, n_bytes: int | float) -> float:
+        """DRAM access energy for ``n_bytes`` (word-granular pricing)."""
+        if n_bytes < 0:
+            raise ValueError("byte count must be non-negative")
+        words = n_bytes / BYTES_PER_WORD
+        return words * self.energy_pj_per_word * 1e-12
+
 
 @dataclass(frozen=True)
 class DramReport:
@@ -89,6 +107,17 @@ def weight_stream_bytes(workload: PerceptionWorkload) -> int:
             if layer.kind.is_compute and not layer.weights_are_activations:
                 total_words += layer.weight_words * group.instances
     return total_words * BYTES_PER_WORD
+
+
+def workload_dram_bytes(workload: PerceptionWorkload,
+                        config: PipelineConfig | None = None) -> int:
+    """Total per-frame DRAM bytes: streamed weights plus camera inputs.
+
+    The single figure the scheduler needs to turn a :class:`DramBudget`
+    into a steady-state throughput bound (see
+    :attr:`repro.core.schedule.Schedule.dram_time_s`).
+    """
+    return weight_stream_bytes(workload) + camera_input_bytes(config)
 
 
 def dram_report(workload: PerceptionWorkload,

@@ -13,17 +13,30 @@ across worker processes and merge the results deterministically::
     chiplet-npu sweep --tolerances 1.0,1.05,1.2 --npus 1,2 --workers 4
     chiplet-npu sweep --nop-gbps 25,50,100 --workloads default,hires \\
         --het-budgets none,2,4 --json --output results/sweep.json
+    chiplet-npu sweep --dataflows os,ws --frequencies-ghz none,1.0 \\
+        --axis native_tile=16x16,8x8 --dram-gbps none,6
     chiplet-npu sweep --workloads default,hires --workers 4 \\
         --stream --store results/planstore
 
 Axes are comma-separated lists; ``none`` keeps an axis at its default
 (``--nop-gbps none`` = 100 GB/s, ``--het-budgets none`` = skip the trunk
-DSE).  ``--stream`` prints each row as it finishes (completion order)
-while the merged artifact stays byte-identical to the batch path;
-``--store DIR`` warm-starts every worker from a shared disk-backed plan
-store and flushes newly computed plans back for the next run.  The report
-includes the shared plan-cache and layer-cost-cache hit/miss statistics,
-so cache-effectiveness regressions are visible alongside the metrics.
+DSE, ``--dram-gbps none`` = compute-only steady state).  Any axis can
+also be given as ``--axis NAME=VALUES`` with its canonical name (see
+``repro.sweep.AXIS_SPECS``); malformed values fail with an error naming
+the offending axis.  ``--stream`` prints each row as it finishes
+(completion order) while the merged artifact stays byte-identical to the
+batch path; ``--store DIR`` warm-starts every worker from a shared
+disk-backed plan store and flushes newly computed plans back for the
+next run.  The report includes the shared plan-cache and
+layer-cost-cache hit/miss statistics, so cache-effectiveness regressions
+are visible alongside the metrics.
+
+The chiplet-count scaling report (``report scaling``) sweeps
+``npus x workload x dram_gbps`` through the same engine and emits the
+scaling table/figure::
+
+    chiplet-npu report scaling --npus 1,2,4 --dram-gbps none,6,2
+    chiplet-npu report scaling --json --output results/scaling_report.json
 """
 
 from __future__ import annotations
@@ -53,6 +66,23 @@ def _sweep_parser() -> argparse.ArgumentParser:
     parser.add_argument("--het-budgets", default="none",
                         help="comma-separated WS chiplet budgets for the "
                              "trunk DSE ('none' = skip)")
+    parser.add_argument("--dataflows", default="none",
+                        help="comma-separated chiplet dataflow styles "
+                             "(os/ws/rs; 'none' = os)")
+    parser.add_argument("--frequencies-ghz", default="none",
+                        help="comma-separated chiplet clocks in GHz "
+                             "('none' = 2 GHz)")
+    parser.add_argument("--native-tiles", default="none",
+                        help="comma-separated native dataflow tiles as "
+                             "ROWSxCOLS, e.g. 16x16 ('none' = 16x16)")
+    parser.add_argument("--dram-gbps", default="none",
+                        help="comma-separated package DRAM bandwidths in "
+                             "GB/s ('none' = compute-only steady state)")
+    parser.add_argument("--axis", action="append", default=[],
+                        metavar="NAME=VALUES",
+                        help="extra axis by canonical name (e.g. "
+                             "--axis native_tile=16x16,8x8); may repeat, "
+                             "overrides the dedicated flag for that axis")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes (1 = serial)")
     parser.add_argument("--store", default=None, metavar="DIR",
@@ -69,21 +99,38 @@ def _sweep_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _grid_kwargs(args) -> dict:
+    """Axis texts from the dedicated flags plus ``--axis`` overrides."""
+    from .sweep import parse_grid_axes
+    axis_texts = {
+        "tolerance": args.tolerances,
+        "nop_gbps": args.nop_gbps,
+        "npus": args.npus,
+        "workload": args.workloads,
+        "het_ws_budget": args.het_budgets,
+        "dataflow": args.dataflows,
+        "frequency_ghz": args.frequencies_ghz,
+        "native_tile": args.native_tiles,
+        "dram_gbps": args.dram_gbps,
+    }
+    for item in args.axis:
+        name, sep, values = item.partition("=")
+        if not sep or not name or not values:
+            raise ValueError(
+                f"--axis expects NAME=VALUES, got {item!r}")
+        axis_texts[name.strip()] = values
+    return parse_grid_axes(axis_texts)
+
+
 def _run_sweep(argv: list[str]) -> int:
     from .io import save_sweep
     from .sim.metrics import format_table
-    from .sweep import ScenarioSweep, parse_axis, scenario_grid
+    from .sweep import ScenarioSweep, scenario_grid
 
     parser = _sweep_parser()
     args = parser.parse_args(argv)
     try:
-        grid = scenario_grid(
-            tolerances=parse_axis(args.tolerances, float),
-            nop_gbps=parse_axis(args.nop_gbps, float),
-            npus=parse_axis(args.npus, int),
-            workloads=parse_axis(args.workloads, str),
-            het_ws_budgets=parse_axis(args.het_budgets, int),
-        )
+        grid = scenario_grid(**_grid_kwargs(args))
         sweep = ScenarioSweep(grid, workers=args.workers,
                               store_path=args.store)
     except (ValueError, KeyError) as exc:
@@ -130,9 +177,19 @@ def _run_sweep(argv: list[str]) -> int:
             print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
         return 0
 
-    # format_table derives headers from the first row, so the trunk
-    # column must appear in every row once any scenario ran the DSE.
+    # format_table derives headers from the first row, so the trunk and
+    # hardware-axis columns must appear in every row once any scenario
+    # sets them (unset axes show as the default marker).
     has_trunk = any("trunk_edp_j_ms" in r for r in result.rows)
+    hw_columns = [
+        ("df", "dataflow", lambda v: v),
+        ("ghz", "frequency_ghz", lambda v: v),
+        ("tile", "native_tile", lambda v: f"{v[0]}x{v[1]}"),
+        ("dram", "dram_gbps", lambda v: v),
+    ]
+    shown_hw = [(label, field, fmt) for label, field, fmt in hw_columns
+                if any(field in r for r in result.rows)]
+    has_dram = any("dram_throttled" in r for r in result.rows)
     display = []
     for row in result.rows:
         shown = {
@@ -142,12 +199,19 @@ def _run_sweep(argv: list[str]) -> int:
             "workload": row["workload"],
             "het": "-" if row["het_ws_budget"] is None
                    else row["het_ws_budget"],
+        }
+        for label, field, fmt in shown_hw:
+            shown[label] = fmt(row[field]) if field in row else "def"
+        shown.update({
             "pipe_ms": round(row["pipe_ms"], 2),
             "e2e_ms": round(row["e2e_ms"], 1),
             "energy_j": round(row["energy_j"], 3),
             "util_pct": round(row["utilization"] * 100, 1),
             "chiplets": row["used_chiplets"],
-        }
+        })
+        if has_dram:
+            shown["dram_bound"] = ("yes" if row.get("dram_throttled")
+                                   else "-")
         if has_trunk:
             shown["trunk_edp"] = (round(row["trunk_edp_j_ms"], 2)
                                   if "trunk_edp_j_ms" in row else "-")
@@ -169,6 +233,66 @@ def _run_sweep(argv: list[str]) -> int:
     return 0
 
 
+def _scaling_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="chiplet-npu report scaling",
+        description="Chiplet-count scaling report: sweep npus x workload "
+                    "x DRAM bandwidth through the sweep engine and emit "
+                    "the scaling table (speedup, efficiency, DRAM wall).")
+    parser.add_argument("--npus", default="1,2,4",
+                        help="comma-separated NPU module counts")
+    parser.add_argument("--dram-gbps", default="none,6,2",
+                        help="comma-separated DRAM bandwidths in GB/s "
+                             "('none' = compute-only column)")
+    parser.add_argument("--workloads", default="default",
+                        help="comma-separated workload variant names")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (1 = serial)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="shared disk-backed plan store directory")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the deterministic JSON document "
+                             "instead of the table")
+    parser.add_argument("--output", default=None,
+                        help="also write the JSON document to this file")
+    return parser
+
+
+def _run_scaling_report(argv: list[str]) -> int:
+    from .experiments import scaling
+    from .sweep import parse_grid_axes
+
+    parser = _scaling_parser()
+    args = parser.parse_args(argv)
+    try:
+        kwargs = parse_grid_axes({
+            "npus": args.npus,
+            "dram_gbps": args.dram_gbps,
+            "workload": args.workloads,
+        })
+        result = scaling.run(npus=kwargs["npus"],
+                             dram_gbps=kwargs["dram_gbps"],
+                             workloads=kwargs["workloads"],
+                             workers=args.workers,
+                             store_path=args.store)
+    except (ValueError, KeyError) as exc:
+        parser.error(exc.args[0] if exc.args else str(exc))
+
+    # The document is a pure function of the grid (no cache counters or
+    # timings), so the emitted bytes are deterministic run-to-run.
+    document = json.dumps(result, indent=2, sort_keys=True)
+    if args.output:
+        import pathlib
+        out = pathlib.Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(document + "\n")
+    if args.json:
+        print(document)
+    else:
+        print(scaling.render(result))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "sweep":
@@ -178,6 +302,10 @@ def main(argv: list[str] | None = None) -> int:
         # (--json/--output) before the subcommand; sweep-specific flags
         # must follow `sweep`.
         return _run_sweep(argv[1:])
+    if len(argv) >= 2 and argv[0] == "report" and argv[1] == "scaling":
+        # `report scaling` is its own artifact generator (the markdown
+        # report keeps its `report` form; scaling flags follow).
+        return _run_scaling_report(argv[2:])
 
     parser = argparse.ArgumentParser(
         prog="chiplet-npu",
@@ -205,6 +333,12 @@ def main(argv: list[str] | None = None) -> int:
         if args.output:
             extra += ["--output", args.output]
         return _run_sweep(extra + rest)
+    if args.experiment == "report" and rest and rest[0] == "scaling":
+        # Shared flags before the subcommand (--json report scaling ...).
+        extra = ["--json"] if args.json else []
+        if args.output:
+            extra += ["--output", args.output]
+        return _run_scaling_report(extra + rest[1:])
     if rest:
         parser.error(f"unrecognized arguments: {' '.join(rest)}")
 

@@ -21,7 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..arch import MCMPackage, NoPTransfer, min_hop_map, transfer_cost
+from ..arch import DramBudget, MCMPackage, NoPTransfer, min_hop_map, \
+    transfer_cost
 from ..workloads.graph import LayerGroup, PerceptionWorkload
 from .sharding import GroupPlan
 
@@ -72,6 +73,16 @@ class Schedule:
     tolerance: float
     base_latency_s: float
     trace: list[TraceStep] = field(default_factory=list)
+    #: optional DRAM interface attached to the schedule.  When set, the
+    #: steady-state accounting treats DRAM as one more pipeline resource
+    #: that must stream ``dram_bytes_per_frame`` per frame: an undersized
+    #: budget throttles :attr:`pipe_latency_s` (and everything derived
+    #: from it) instead of living in a detached report.  ``None`` keeps
+    #: the seed compute-only accounting bit-for-bit.
+    dram: DramBudget | None = None
+    #: per-frame DRAM traffic (streamed weights + camera inputs); see
+    #: :func:`repro.arch.dram.workload_dram_bytes`.
+    dram_bytes_per_frame: int = 0
     # Memos for the derived metrics below.  A Schedule is immutable once
     # the matcher returns it, and summary()/e2e accounting re-derive the
     # same NoP edges and busy map several times per call without these.
@@ -129,10 +140,53 @@ class Schedule:
         return busy
 
     @property
-    def pipe_latency_s(self) -> float:
+    def compute_pipe_latency_s(self) -> float:
+        """Steady-state pipe latency from compute alone (busiest chiplet)."""
         if self._pipe_latency_memo is None:
             self._pipe_latency_memo = max(self.chiplet_busy().values())
         return self._pipe_latency_memo
+
+    # ------------------------------------------------------------------
+    # DRAM steady-state accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def dram_time_s(self) -> float:
+        """Per-frame DRAM streaming time under the attached budget."""
+        if self.dram is None:
+            return 0.0
+        return self.dram.stream_time_s(self.dram_bytes_per_frame)
+
+    @property
+    def dram_throttled(self) -> bool:
+        """True when DRAM, not compute, sets the steady-state frame rate."""
+        return self.dram_time_s > self.compute_pipe_latency_s
+
+    @property
+    def dram_energy_j(self) -> float:
+        """Per-frame DRAM access energy under the attached budget."""
+        if self.dram is None:
+            return 0.0
+        return self.dram.stream_energy_j(self.dram_bytes_per_frame)
+
+    @property
+    def dram_bw_utilization(self) -> float:
+        """Fraction of the DRAM budget consumed at the steady-state rate."""
+        pipe = self.pipe_latency_s
+        if self.dram is None or pipe == 0:
+            return 0.0
+        return self.dram_time_s / pipe
+
+    @property
+    def pipe_latency_s(self) -> float:
+        """Steady-state pipe latency: compute, throttled by DRAM if attached.
+
+        DRAM serves frames like one more FIFO pipeline resource, so the
+        steady-state inter-departure time is the slower of the busiest
+        chiplet and the per-frame DRAM stream (validated by
+        :class:`~repro.sim.stream.StreamSimulator`).
+        """
+        return max(self.compute_pipe_latency_s, self.dram_time_s)
 
     # ------------------------------------------------------------------
     # NoP traffic
@@ -282,7 +336,7 @@ class Schedule:
 
     @property
     def energy_j(self) -> float:
-        return self.compute_energy_j + self.nop_energy_j
+        return self.compute_energy_j + self.nop_energy_j + self.dram_energy_j
 
     @property
     def edp_j_ms(self) -> float:
@@ -304,8 +358,13 @@ class Schedule:
         return self.workload.total_macs / pe_cycles
 
     def summary(self) -> dict:
-        """Headline metrics as a plain dict (used by experiments/CLI)."""
-        return {
+        """Headline metrics as a plain dict (used by experiments/CLI).
+
+        DRAM entries appear only when a budget is attached, so summaries
+        (and every artifact built from them) are unchanged for schedules
+        produced without a DRAM axis.
+        """
+        out = {
             "e2e_ms": self.e2e_latency_s * 1e3,
             "pipe_ms": self.pipe_latency_s * 1e3,
             "energy_j": self.energy_j,
@@ -315,3 +374,10 @@ class Schedule:
             "nop_energy_j": self.nop_energy_j,
             "used_chiplets": len(self.used_chiplets),
         }
+        if self.dram is not None:
+            out["compute_pipe_ms"] = self.compute_pipe_latency_s * 1e3
+            out["dram_ms"] = self.dram_time_s * 1e3
+            out["dram_bw_util"] = self.dram_bw_utilization
+            out["dram_energy_j"] = self.dram_energy_j
+            out["dram_throttled"] = self.dram_throttled
+        return out

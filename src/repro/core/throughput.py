@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..arch import MCMPackage, simba_package
+from ..arch import DramBudget, MCMPackage, simba_package
 from ..cost import AcceleratorConfig
 from ..workloads.graph import LayerGroup, PerceptionWorkload
 from ..workloads.pipeline import build_perception_workload
@@ -107,13 +107,23 @@ class ThroughputMatcher:
                  workload: PerceptionWorkload | None = None,
                  package: MCMPackage | None = None,
                  tolerance: float = 1.05,
-                 colocate_threshold_s: float = 0.005):
+                 colocate_threshold_s: float = 0.005,
+                 dram: DramBudget | None = None,
+                 dram_bytes_per_frame: int = 0):
         if tolerance < 1.0:
             raise ValueError("tolerance must be >= 1.0")
+        if dram_bytes_per_frame < 0:
+            raise ValueError("dram_bytes_per_frame must be non-negative")
         self.workload = workload or build_perception_workload()
         self.package = package or simba_package()
         self.tolerance = tolerance
         self.colocate_threshold_s = colocate_threshold_s
+        # DRAM is accounting-only: the sharding decisions are unchanged
+        # (streaming more weights is not relieved by more chiplets), but
+        # the returned Schedule's steady-state metrics are throttled by
+        # the budget.  None keeps the seed compute-only behavior.
+        self.dram = dram
+        self.dram_bytes_per_frame = dram_bytes_per_frame
 
     # ------------------------------------------------------------------
 
@@ -149,6 +159,8 @@ class ThroughputMatcher:
             tolerance=self.tolerance,
             base_latency_s=base,
             trace=state.trace,
+            dram=self.dram,
+            dram_bytes_per_frame=self.dram_bytes_per_frame,
         )
 
     # ------------------------------------------------------------------
@@ -295,6 +307,10 @@ class ThroughputMatcher:
 
 def match_throughput(workload: PerceptionWorkload | None = None,
                      package: MCMPackage | None = None,
-                     tolerance: float = 1.05) -> Schedule:
+                     tolerance: float = 1.05,
+                     dram: DramBudget | None = None,
+                     dram_bytes_per_frame: int = 0) -> Schedule:
     """Convenience wrapper: run Algorithm 1 with defaults."""
-    return ThroughputMatcher(workload, package, tolerance).run()
+    return ThroughputMatcher(workload, package, tolerance,
+                             dram=dram,
+                             dram_bytes_per_frame=dram_bytes_per_frame).run()

@@ -1,6 +1,7 @@
 """Analytical DNN accelerator cost model (MAESTRO stand-in)."""
 
 from .accelerator import (
+    DATAFLOW_STYLES,
     OUTPUT_STATIONARY,
     WEIGHT_STATIONARY,
     AcceleratorConfig,
@@ -21,6 +22,7 @@ from .model import (
 )
 
 __all__ = [
+    "DATAFLOW_STYLES",
     "OUTPUT_STATIONARY",
     "WEIGHT_STATIONARY",
     "AcceleratorConfig",

@@ -25,7 +25,9 @@ WEIGHT_STATIONARY = "ws"
 #: ``benchmarks/bench_ablation_dataflows.py``.
 ROW_STATIONARY = "rs"
 
-_STYLES = (OUTPUT_STATIONARY, WEIGHT_STATIONARY, ROW_STATIONARY)
+#: Every dataflow style the cost model implements (sweep axis domain).
+DATAFLOW_STYLES = (OUTPUT_STATIONARY, WEIGHT_STATIONARY, ROW_STATIONARY)
+_STYLES = DATAFLOW_STYLES
 
 
 @dataclass(frozen=True)
@@ -107,6 +109,28 @@ class AcceleratorConfig:
     def with_dataflow(self, dataflow: str) -> "AcceleratorConfig":
         return replace(self, dataflow=dataflow,
                        name=f"{self.name}[{dataflow}]")
+
+    def with_overrides(self,
+                       frequency_hz: float | None = None,
+                       native_tile: tuple[int, int] | None = None,
+                       ) -> "AcceleratorConfig":
+        """Copy with hardware axes overridden; ``None`` keeps a field.
+
+        The name is kept on purpose: an override changes *parameters* of
+        the same engine, and every field participates in equality,
+        hashing, and the plan store's content hash — so two configs that
+        differ only in frequency never share a plan entry, while an
+        explicit override equal to the default stays identical to the
+        unmodified preset (and keeps its cached plans).
+        """
+        overrides: dict = {}
+        if frequency_hz is not None:
+            overrides["frequency_hz"] = frequency_hz
+        if native_tile is not None:
+            overrides["native_tile"] = tuple(native_tile)
+        if not overrides:
+            return self
+        return replace(self, **overrides)
 
 
 # ----------------------------------------------------------------------

@@ -5,8 +5,8 @@ Each module exposes ``run() -> dict`` (structured results) and
 CLI are thin wrappers over these.
 """
 
-from . import fig3, fig4, fig5to8, fig9, fig10, fig11, platform, table1, \
-    table2, table3
+from . import fig3, fig4, fig5to8, fig9, fig10, fig11, platform, scaling, \
+    table1, table2, table3
 
 ALL_EXPERIMENTS = {
     "fig3": fig3,
@@ -19,6 +19,7 @@ ALL_EXPERIMENTS = {
     "table2": table2,
     "table3": table3,
     "platform": platform,
+    "scaling": scaling,
 }
 
 __all__ = ["ALL_EXPERIMENTS"] + list(ALL_EXPERIMENTS)

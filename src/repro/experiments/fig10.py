@@ -8,18 +8,24 @@ comparison (the paper: 87 ms -> 41.1 ms, "almost 2x").
 
 from __future__ import annotations
 
-from ..arch import simba_package
 from ..core import match_throughput
 from ..sim.metrics import format_table
+from ..sweep.scenario import Scenario
 from ..viz import step_plot
 from ..workloads import PipelineConfig, build_perception_workload
 
 
 def run(config: PipelineConfig | None = None) -> dict:
-    workload_single = build_perception_workload(config)
-    single = match_throughput(workload_single, simba_package(npus=1))
-    workload_dual = build_perception_workload(config)
-    dual = match_throughput(workload_dual, simba_package(npus=2))
+    if config is None:
+        # Canonical workload: the packages come from Scenario.build(),
+        # the same construction path sweeps and the CLI use.
+        single = Scenario(npus=1).build().schedule()
+        dual = Scenario(npus=2).build().schedule()
+    else:
+        single = match_throughput(build_perception_workload(config),
+                                  Scenario(npus=1).package())
+        dual = match_throughput(build_perception_workload(config),
+                                Scenario(npus=2).package())
     trace = [
         {
             "step": t.step,

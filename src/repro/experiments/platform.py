@@ -8,16 +8,24 @@ integration — the three checks a deployment study would demand.
 
 from __future__ import annotations
 
-from ..arch import dram_report, simba_package
+from ..arch import dram_report
 from ..core import match_throughput, schedule_heterogeneous
 from ..sim import stream_validate
+from ..sweep.scenario import Scenario
 from ..workloads import PipelineConfig, build_perception_workload
 
 
 def run(config: PipelineConfig | None = None) -> dict:
-    config = config or PipelineConfig()
-    workload = build_perception_workload(config)
-    schedule = match_throughput(workload, simba_package())
+    if config is None:
+        # Canonical workload + package via Scenario.build(), the shared
+        # construction path (identical hardware to the former hand-rolled
+        # simba_package() call).
+        built = Scenario().build()
+        config, workload = built.config, built.workload
+        schedule = built.schedule()
+    else:
+        workload = build_perception_workload(config)
+        schedule = match_throughput(workload, Scenario().package())
 
     des = stream_validate(schedule, n_frames=32, target_fps=config.fps)
     dram = dram_report(workload, config)

@@ -123,16 +123,29 @@ class StreamSimulator:
             c.chiplet_id: 0.0 for c in schedule.package.chiplets}
         busy_total: dict[int, float] = {cid: 0.0 for cid in chiplet_free}
 
+        # DRAM is one more FIFO resource: each frame's weights and camera
+        # inputs must stream through the interface before its first groups
+        # can start, and the channel serves frames in order.  Without an
+        # attached budget (dram_time 0) this is the seed behavior.
+        dram_time = schedule.dram_time_s
+        dram_free = 0.0
+
         frames: list[FrameRecord] = []
         for f in range(n_frames):
             arrival = f * period
+            if dram_time:
+                stream_start = max(arrival, dram_free)
+                dram_free = stream_start + dram_time
+                ready_at = dram_free
+            else:
+                ready_at = arrival
             finish: dict[str, float] = {}
             for stage in workload.stages:
                 for group in stage.topo_order():
                     gs = schedule.groups[group.name]
                     deps = list(group.depends_on)
                     deps += stage_links.get(group.name, [])
-                    ready = arrival
+                    ready = ready_at
                     for dep in deps:
                         edge = self._edge_latency.get((dep, group.name), 0.0)
                         ready = max(ready, finish[dep] + edge)

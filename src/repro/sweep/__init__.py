@@ -10,9 +10,14 @@ from .runner import (
     run_sweep,
 )
 from .scenario import (
+    AXIS_SPECS,
     WORKLOAD_VARIANTS,
+    AxisSpec,
     Scenario,
+    ScenarioBuild,
     parse_axis,
+    parse_grid_axes,
+    parse_tile,
     scenario_grid,
     workload_variant,
 )
@@ -25,9 +30,14 @@ __all__ = [
     "layer_cost_cache_stats",
     "run_scenario",
     "run_sweep",
+    "AXIS_SPECS",
     "WORKLOAD_VARIANTS",
+    "AxisSpec",
     "Scenario",
+    "ScenarioBuild",
     "parse_axis",
+    "parse_grid_axes",
+    "parse_tile",
     "scenario_grid",
     "workload_variant",
 ]

@@ -37,19 +37,23 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
-from ..arch import NoPConfig, simba_package
 from ..core.dse import TrunkDSE
 from ..core.plancache import CacheStats, get_plan_cache, plan_cache_stats
 from ..core.planstore import PlanStore
-from ..core.throughput import ThroughputMatcher
+from ..cost import nvdla_chiplet, shidiannao_chiplet
 from ..cost.model import evaluate
-from ..workloads.pipeline import STAGE_TR, build_perception_workload
-from .scenario import Scenario, workload_variant
+from ..workloads.pipeline import STAGE_TR
+from .scenario import Scenario
 
 #: summary metrics copied from Schedule.summary() into each sweep row.
 _SUMMARY_FIELDS = ("e2e_ms", "pipe_ms", "energy_j", "edp_j_ms",
                    "utilization", "nop_latency_ms", "nop_energy_j",
                    "used_chiplets")
+
+#: extra summary metrics present only when a scenario sets ``dram_gbps``
+#: (appended to the row then, so default-axis rows are byte-stable).
+_DRAM_FIELDS = ("compute_pipe_ms", "dram_ms", "dram_bw_util",
+                "dram_energy_j", "dram_throttled")
 
 
 def layer_cost_cache_stats() -> CacheStats:
@@ -68,30 +72,32 @@ def run_scenario(scenario: Scenario) -> dict:
 
     Pure function of the scenario — this is the unit of work shipped to
     sweep workers, and the determinism contract of the whole engine.
+    All hardware comes from :meth:`Scenario.build`, the one
+    package-construction path experiments and the CLI share.
     """
-    config = workload_variant(scenario.workload)
-    workload = build_perception_workload(config)
-    nop = (NoPConfig(bandwidth_bytes_per_s=scenario.nop_gbps * 1e9)
-           if scenario.nop_gbps is not None else NoPConfig())
-    package = simba_package(npus=scenario.npus, nop=nop)
-    schedule = ThroughputMatcher(workload, package,
-                                 tolerance=scenario.tolerance).run()
+    built = scenario.build()
+    schedule = built.schedule()
     summary = schedule.summary()
     row = {"key": scenario.key, **scenario.to_dict()}
     row["base_ms"] = schedule.base_latency_s * 1e3
     for name in _SUMMARY_FIELDS:
         row[name] = summary[name]
+    if scenario.dram_gbps is not None:
+        for name in _DRAM_FIELDS:
+            row[name] = summary[name]
     row["shard_steps"] = sum(t.action == "shard" for t in schedule.trace)
 
     if scenario.het_ws_budget is not None:
         # Mirror schedule_heterogeneous: the pipe constraint is the
         # scenario's tolerance over ITS base latency, and the chiplet
-        # budget is the package's actual trunk-quadrant capacity.
+        # budget is the package's actual trunk-quadrant capacity.  The
+        # constraint is the *compute* base latency — heterogeneous trunk
+        # mapping cannot relieve a DRAM wall.
         l_cstr = scenario.tolerance * schedule.base_latency_s
         trunk_chiplets = sum(
-            package.quadrant_capacity(q)
+            built.package.quadrant_capacity(q)
             for q in schedule.stage_quadrants[STAGE_TR])
-        row.update(_trunk_columns(scenario.workload, workload,
+        row.update(_trunk_columns(scenario, built.workload,
                                   scenario.het_ws_budget,
                                   l_cstr, trunk_chiplets))
     return row
@@ -108,15 +114,28 @@ def clear_trunk_memo() -> None:
     _TRUNK_MEMO.clear()
 
 
-def _trunk_columns(variant: str, workload, ws_budget: int,
+def _trunk_columns(scenario: Scenario, workload, ws_budget: int,
                    l_cstr_s: float, chiplets: int) -> dict:
     if ws_budget > chiplets:
         raise ValueError(
             f"het_ws_budget {ws_budget} exceeds the trunk quadrant "
             f"capacity ({chiplets} chiplets for this scenario)")
-    key = (variant, ws_budget, l_cstr_s, chiplets)
+    # Hardware overrides are part of the memo identity: two scenarios
+    # that differ only in frequency or tile must not share a DSE result.
+    # (The scenario *dataflow* axis is not: the trunk DSE explores its
+    # own OS/WS mixes regardless of the package-wide style.)
+    key = (scenario.workload, ws_budget, l_cstr_s, chiplets,
+           scenario.frequency_ghz, scenario.native_tile)
     if key not in _TRUNK_MEMO:
+        freq = (None if scenario.frequency_ghz is None
+                else scenario.frequency_ghz * 1e9)
+        os_accel = shidiannao_chiplet().with_overrides(
+            frequency_hz=freq, native_tile=scenario.native_tile)
+        ws_accel = nvdla_chiplet().with_overrides(
+            frequency_hz=freq, native_tile=scenario.native_tile)
         best = TrunkDSE(stage=workload.stage(STAGE_TR),
+                        os_accel=os_accel,
+                        ws_accel=ws_accel,
                         l_cstr_s=l_cstr_s,
                         chiplets=chiplets).search(ws_budget)
         _TRUNK_MEMO[key] = {

@@ -2,21 +2,48 @@
 
 A :class:`Scenario` is one fully-specified run of the throughput-matching
 scheduler (plus, optionally, the trunk DSE): a workload variant, a package
-size, a NoP bandwidth, a tolerance coefficient, and a heterogeneous WS
-chiplet budget.  Scenarios are frozen, hashable, and serializable, with a
-deterministic ``key`` string used to merge results order-independently.
+size, a NoP bandwidth, a tolerance coefficient, a heterogeneous WS chiplet
+budget — and, since PR 3, the *hardware* axes the accelerator and memory
+models already expose: dataflow style, clock frequency, native dataflow
+tile, and DRAM bandwidth.  Scenarios are frozen, hashable, and
+serializable, with a deterministic ``key`` string used to merge results
+order-independently.
+
+The hardware axes all default to ``None`` = seed behavior: they are
+excluded from ``key`` and ``to_dict()`` unless set, so grids that do not
+touch them produce byte-identical artifacts (and PlanStore merge keys)
+to the PR 2 engine.
+
+:meth:`Scenario.build` is the single package-construction path: it
+materializes the ``(workload, package, DramBudget)`` triple every
+scenario implies, so the sweep runner, the experiments, and the CLI all
+agree on how an axis value becomes hardware.
 
 :func:`scenario_grid` expands a cartesian grid over those axes — the shape
 of every ablation the paper implies but does not run (tolerance, NoP
-bandwidth, chiplet-count scaling, workload dimensions, Het(k) budgets).
+bandwidth, chiplet-count scaling, workload dimensions, Het(k) budgets,
+dataflow/frequency/tile choices, DRAM-contention scenarios).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
-from ..workloads.pipeline import PipelineConfig
+from ..arch import (
+    DramBudget,
+    MCMPackage,
+    NoPConfig,
+    simba_package,
+    workload_dram_bytes,
+)
+from ..cost import AcceleratorConfig, simba_chiplet
+from ..cost.accelerator import DATAFLOW_STYLES as _STYLES
+from ..workloads.graph import PerceptionWorkload
+from ..workloads.pipeline import PipelineConfig, build_perception_workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from ..core.schedule import Schedule
 
 #: named workload variants: the paper's fixed workload plus the scaling
 #: knobs of analysis.scaling, as reusable scenario axes.
@@ -43,6 +70,41 @@ def workload_variant(name: str) -> PipelineConfig:
 
 
 @dataclass(frozen=True)
+class ScenarioBuild:
+    """The hardware a :class:`Scenario` materializes to.
+
+    One :meth:`Scenario.build` call produces the full
+    ``(workload, package, DramBudget)`` triple plus the config behind the
+    workload variant, so experiments and the sweep runner stop
+    hand-rolling ``simba_package(...)`` calls.  ``dram`` is ``None`` when
+    the scenario leaves the DRAM axis unset — the schedule then keeps the
+    seed compute-only accounting.
+    """
+
+    scenario: "Scenario"
+    config: PipelineConfig
+    workload: PerceptionWorkload
+    package: MCMPackage
+    dram: DramBudget | None
+    #: per-frame DRAM traffic (0 when no budget is attached).
+    dram_bytes_per_frame: int
+
+    @property
+    def accel(self) -> AcceleratorConfig:
+        """The (possibly overridden) chiplet config of the package."""
+        return self.package.chiplets[0].accel
+
+    def schedule(self) -> "Schedule":
+        """Run the throughput matcher on the materialized hardware."""
+        from ..core.throughput import ThroughputMatcher
+        return ThroughputMatcher(
+            self.workload, self.package,
+            tolerance=self.scenario.tolerance,
+            dram=self.dram,
+            dram_bytes_per_frame=self.dram_bytes_per_frame).run()
+
+
+@dataclass(frozen=True)
 class Scenario:
     """One point of a sweep grid."""
 
@@ -55,6 +117,20 @@ class Scenario:
     workload: str = "default"
     #: when set, additionally run the trunk DSE with this WS chiplet budget.
     het_ws_budget: int | None = None
+    # ------------------------------------------------------------------
+    # Hardware axes (PR 3).  All default to None = seed behavior, and are
+    # excluded from key/to_dict unless set — existing grids, artifacts,
+    # and PlanStore merge keys are unchanged at defaults.
+    # ------------------------------------------------------------------
+    #: chiplet dataflow style ("os", "ws", "rs"); None keeps "os".
+    dataflow: str | None = None
+    #: chiplet clock in GHz; None keeps the 2 GHz Simba preset.
+    frequency_ghz: float | None = None
+    #: native dataflow tile as (rows, cols); None keeps 16x16.
+    native_tile: tuple[int, int] | None = None
+    #: package DRAM bandwidth in GB/s; None detaches the DRAM budget
+    #: (compute-only steady state, the seed behavior).
+    dram_gbps: float | None = None
 
     def __post_init__(self) -> None:
         # tolerance/npus/workload have no "default" sentinel: an explicit
@@ -68,24 +144,114 @@ class Scenario:
             raise ValueError("nop_gbps must be positive")
         if self.het_ws_budget is not None and self.het_ws_budget < 0:
             raise ValueError("het_ws_budget must be >= 0")
+        if self.dataflow is not None and self.dataflow not in _STYLES:
+            raise ValueError(
+                f"dataflow must be one of {', '.join(_STYLES)}; "
+                f"got {self.dataflow!r}")
+        if self.frequency_ghz is not None and self.frequency_ghz <= 0:
+            raise ValueError("frequency_ghz must be positive")
+        if self.native_tile is not None:
+            tile = self.native_tile
+            if (not isinstance(tile, (tuple, list)) or len(tile) != 2
+                    or not all(isinstance(d, int) and d > 0 for d in tile)):
+                raise ValueError(
+                    f"native_tile must be two positive integers "
+                    f"(rows, cols); got {tile!r}")
+            object.__setattr__(self, "native_tile", tuple(tile))
+        if self.dram_gbps is not None and self.dram_gbps <= 0:
+            raise ValueError("dram_gbps must be positive")
         workload_variant(self.workload)  # fail fast on unknown variants
 
     @property
     def key(self) -> str:
-        """Deterministic identity string (merge key and report label)."""
+        """Deterministic identity string (merge key and report label).
+
+        Hardware axes contribute a fragment only when set, keeping the
+        key byte-stable for every grid expressible before they existed.
+        """
         nop = "default" if self.nop_gbps is None else f"{self.nop_gbps:g}"
         het = "-" if self.het_ws_budget is None else str(self.het_ws_budget)
-        return (f"tol={self.tolerance:g}|nop={nop}|npus={self.npus}"
-                f"|wl={self.workload}|het={het}")
+        parts = [f"tol={self.tolerance:g}|nop={nop}|npus={self.npus}"
+                 f"|wl={self.workload}|het={het}"]
+        if self.dataflow is not None:
+            parts.append(f"df={self.dataflow}")
+        if self.frequency_ghz is not None:
+            parts.append(f"ghz={self.frequency_ghz:g}")
+        if self.native_tile is not None:
+            parts.append(f"tile={self.native_tile[0]}x{self.native_tile[1]}")
+        if self.dram_gbps is not None:
+            parts.append(f"dram={self.dram_gbps:g}")
+        return "|".join(parts)
 
     def to_dict(self) -> dict:
-        return {
+        """Row payload; hardware axes appear only when set (byte-stable)."""
+        out = {
             "tolerance": self.tolerance,
             "nop_gbps": self.nop_gbps,
             "npus": self.npus,
             "workload": self.workload,
             "het_ws_budget": self.het_ws_budget,
         }
+        if self.dataflow is not None:
+            out["dataflow"] = self.dataflow
+        if self.frequency_ghz is not None:
+            out["frequency_ghz"] = self.frequency_ghz
+        if self.native_tile is not None:
+            out["native_tile"] = list(self.native_tile)
+        if self.dram_gbps is not None:
+            out["dram_gbps"] = self.dram_gbps
+        return out
+
+    # ------------------------------------------------------------------
+    # Hardware materialization
+    # ------------------------------------------------------------------
+
+    def accel(self) -> AcceleratorConfig:
+        """The chiplet config this scenario's axes describe.
+
+        Overrides ride on the Simba preset via
+        :meth:`~repro.cost.AcceleratorConfig.with_overrides`, so an
+        explicit value equal to the default yields the *identical*
+        config (same plan-cache and plan-store entries), while any real
+        difference changes the content hash and never shares a plan.
+        """
+        base = simba_chiplet(self.dataflow or "os")
+        freq = (None if self.frequency_ghz is None
+                else self.frequency_ghz * 1e9)
+        return base.with_overrides(frequency_hz=freq,
+                                   native_tile=self.native_tile)
+
+    def dram_budget(self) -> DramBudget | None:
+        """The DRAM budget this scenario attaches (None = detached)."""
+        if self.dram_gbps is None:
+            return None
+        return DramBudget(bandwidth_bytes_per_s=self.dram_gbps * 1e9)
+
+    def package(self) -> MCMPackage:
+        """Materialize only the package (no workload build) — for callers
+        that pair the scenario's hardware with their own workload."""
+        nop = (NoPConfig(bandwidth_bytes_per_s=self.nop_gbps * 1e9)
+               if self.nop_gbps is not None else NoPConfig())
+        accel = self.accel()
+        return simba_package(dataflow=accel.dataflow, npus=self.npus,
+                             accel=accel, nop=nop)
+
+    def build(self) -> ScenarioBuild:
+        """Materialize the ``(workload, package, DramBudget)`` triple.
+
+        The single construction path shared by the sweep runner, the
+        experiments, and the CLI: at default axes it reproduces the PR 2
+        hand-rolled ``simba_package(npus=..., nop=...)`` call exactly.
+        """
+        config = workload_variant(self.workload)
+        workload = build_perception_workload(config)
+        package = self.package()
+        dram = self.dram_budget()
+        dram_bytes = (workload_dram_bytes(workload, config)
+                      if dram is not None else 0)
+        return ScenarioBuild(scenario=self, config=config,
+                             workload=workload, package=package,
+                             dram=dram, dram_bytes_per_frame=dram_bytes)
 
 
 def scenario_grid(
@@ -94,21 +260,32 @@ def scenario_grid(
         npus: Sequence[int] = (1,),
         workloads: Sequence[str] = ("default",),
         het_ws_budgets: Sequence[int | None] = (None,),
+        dataflows: Sequence[str | None] = (None,),
+        frequencies_ghz: Sequence[float | None] = (None,),
+        native_tiles: Sequence[tuple[int, int] | None] = (None,),
+        dram_gbps: Sequence[float | None] = (None,),
 ) -> list[Scenario]:
-    """Cartesian scenario grid over the five sweep axes.
+    """Cartesian scenario grid over the nine sweep axes.
 
     The expansion order is deterministic (row-major over the arguments as
     given), so a grid built twice from the same inputs is identical — the
     property the parallel runner's order-independent merge relies on.
+    The hardware axes expand innermost: grids that leave them at their
+    defaults enumerate in exactly the PR 2 order.
     """
     grid = [
         Scenario(tolerance=tol, nop_gbps=bw, npus=n,
-                 workload=wl, het_ws_budget=het)
+                 workload=wl, het_ws_budget=het, dataflow=df,
+                 frequency_ghz=ghz, native_tile=tile, dram_gbps=dram)
         for tol in tolerances
         for bw in nop_gbps
         for n in npus
         for wl in workloads
         for het in het_ws_budgets
+        for df in dataflows
+        for ghz in frequencies_ghz
+        for tile in native_tiles
+        for dram in dram_gbps
     ]
     seen: set[str] = set()
     for s in grid:
@@ -118,14 +295,107 @@ def scenario_grid(
     return grid
 
 
-def parse_axis(text: str, cast=float) -> list:
-    """Parse a comma-separated CLI axis ('1.0,1.05'); 'none' -> None."""
+# ----------------------------------------------------------------------
+# CLI axis parsing
+# ----------------------------------------------------------------------
+
+def parse_tile(text: str) -> tuple[int, int]:
+    """Parse a native-tile token (``16x16`` -> ``(16, 16)``)."""
+    rows, sep, cols = text.lower().partition("x")
+    if not sep or not rows.strip().isdigit() or not cols.strip().isdigit():
+        raise ValueError("expected ROWSxCOLS, e.g. 16x16")
+    return (int(rows), int(cols))
+
+
+def _parse_dataflow(text: str) -> str:
+    if text not in _STYLES:
+        raise ValueError(f"expected one of {', '.join(_STYLES)}")
+    return text
+
+
+@dataclass(frozen=True)
+class AxisSpec:
+    """How one CLI axis maps onto :func:`scenario_grid`."""
+
+    #: keyword argument of :func:`scenario_grid`
+    grid_kwarg: str
+    #: token parser for one non-``none`` value
+    cast: Callable
+    #: whether the ``none`` sentinel is meaningful for this axis
+    allows_none: bool
+    #: one-line help fragment
+    help: str = ""
+
+
+#: every sweep axis reachable from the CLI, keyed by its canonical name
+#: (also accepted by ``--axis NAME=VALUES``).
+AXIS_SPECS: dict[str, AxisSpec] = {
+    "tolerance": AxisSpec("tolerances", float, False,
+                          "Algorithm 1 tolerance coefficient"),
+    "nop_gbps": AxisSpec("nop_gbps", float, True,
+                         "NoP link bandwidth in GB/s"),
+    "npus": AxisSpec("npus", int, False, "6x6 NPU modules in the package"),
+    "workload": AxisSpec("workloads", str, False, "workload variant name"),
+    "het_ws_budget": AxisSpec("het_ws_budgets", int, True,
+                              "WS chiplet budget for the trunk DSE"),
+    "dataflow": AxisSpec("dataflows", _parse_dataflow, True,
+                         "chiplet dataflow style (os/ws/rs)"),
+    "frequency_ghz": AxisSpec("frequencies_ghz", float, True,
+                              "chiplet clock in GHz"),
+    "native_tile": AxisSpec("native_tiles", parse_tile, True,
+                            "native dataflow tile, ROWSxCOLS"),
+    "dram_gbps": AxisSpec("dram_gbps", float, True,
+                          "package DRAM bandwidth in GB/s"),
+}
+
+
+def parse_axis(text: str, cast=float, axis: str | None = None) -> list:
+    """Parse a comma-separated CLI axis ('1.0,1.05'); 'none' -> None.
+
+    Every axis — float, int, string, or tuple-valued (``16x16``) — goes
+    through this one path, so the ``none`` sentinel behaves uniformly and
+    a bad token produces a ``ValueError`` naming the offending axis and
+    value instead of a bare cast traceback.
+    """
+    label = f" for axis {axis!r}" if axis else ""
     values: list = []
     for tok in text.split(","):
         tok = tok.strip()
         if not tok:
             continue
-        values.append(None if tok.lower() == "none" else cast(tok))
+        if tok.lower() == "none":
+            values.append(None)
+            continue
+        try:
+            values.append(cast(tok))
+        except (ValueError, TypeError) as exc:
+            detail = str(exc) or f"not a valid {getattr(cast, '__name__', 'value')}"
+            raise ValueError(
+                f"invalid value {tok!r}{label}: {detail}") from None
     if not values:
-        raise ValueError(f"empty axis: {text!r}")
+        raise ValueError(f"empty axis{label}: {text!r}")
     return values
+
+
+def parse_grid_axes(axis_texts: dict[str, str]) -> dict:
+    """Parse named CLI axes into :func:`scenario_grid` keyword arguments.
+
+    ``axis_texts`` maps canonical axis names (see :data:`AXIS_SPECS`) to
+    their comma-separated value strings; unknown names and ``none`` on an
+    axis that has no default sentinel raise a ``ValueError`` naming the
+    axis.
+    """
+    kwargs: dict = {}
+    for name, text in axis_texts.items():
+        spec = AXIS_SPECS.get(name)
+        if spec is None:
+            raise ValueError(
+                f"unknown sweep axis {name!r}; "
+                f"known: {', '.join(sorted(AXIS_SPECS))}")
+        values = parse_axis(text, spec.cast, axis=name)
+        if not spec.allows_none and None in values:
+            raise ValueError(
+                f"invalid value 'none' for axis {name!r}: "
+                f"this axis has no default sentinel")
+        kwargs[spec.grid_kwarg] = values
+    return kwargs
