@@ -44,20 +44,21 @@ def chiplet_scaling_rows(rows: list[dict]) -> list[dict]:
     """
     columns: dict[tuple, list[dict]] = {}
     for row in rows:
-        key = (row["workload"], row.get("dram_gbps"))
+        key = (row["workload"], row.get("dram_gbps"), row.get("topology"))
         columns.setdefault(key, []).append(row)
     out: list[dict] = []
-    for (workload, dram_gbps), col in sorted(
+    for (workload, dram_gbps, topology), col in sorted(
             columns.items(),
             key=lambda kv: (kv[0][0],
-                            kv[0][1] is not None, kv[0][1] or 0.0)):
+                            kv[0][1] is not None, kv[0][1] or 0.0,
+                            kv[0][2] or "")):
         col = sorted(col, key=lambda r: r["npus"])
         base = col[0]
         for row in col:
             compute_pipe_ms = row.get("compute_pipe_ms", row["pipe_ms"])
             speedup = base["pipe_ms"] / row["pipe_ms"]
             added = row["npus"] / base["npus"]
-            out.append({
+            entry = {
                 "workload": workload,
                 "dram": _dram_label(dram_gbps),
                 "dram_gbps": dram_gbps,
@@ -71,7 +72,13 @@ def chiplet_scaling_rows(rows: list[dict]) -> list[dict]:
                 "scaling_efficiency": round(speedup / added, 3),
                 "energy_j": round(row["energy_j"], 3),
                 "dram_throttled": bool(row.get("dram_throttled", False)),
-            })
+            }
+            # Topology columns appear only when the axis was set on the
+            # input rows, so default-grid reports stay byte-identical.
+            if topology is not None:
+                entry["topology"] = topology
+                entry["nop_avg_hops"] = round(row["nop_avg_hops"], 3)
+            out.append(entry)
     return out
 
 
@@ -90,30 +97,42 @@ def chiplet_scaling_report(rows: list[dict]) -> dict:
     # label strings would misplace budgets >= 10 GB/s).
     walls: dict[tuple, int] = {}
     for r in throttled:
-        col = (r["workload"], r["dram"])
+        col = (r["workload"], r["dram"], r.get("topology"))
         if col not in walls:
             walls[col] = r["npus"]
+    axes = {
+        "npus": sorted({r["npus"] for r in rows}),
+        "workloads": sorted({r["workload"] for r in rows}),
+        "dram_gbps": sorted(
+            {r.get("dram_gbps") for r in rows
+             if r.get("dram_gbps") is not None}) + (
+                 ["unbounded"] if any(
+                     r.get("dram_gbps") is None for r in rows) else []),
+    }
+    # The topology axis (and per-wall topology labels) appear only when
+    # the input rows carry one, keeping the default document byte-stable.
+    topologies = sorted({r["topology"] for r in table if "topology" in r})
+    if topologies:
+        axes["topologies"] = topologies
+
+    def _wall(col: tuple, n: int) -> dict:
+        wl, dram, topology = col
+        entry = {"workload": wl, "dram": dram, "first_throttled_npus": n}
+        if topology is not None:
+            entry["topology"] = topology
+        return entry
+
     return {
-        "axes": {
-            "npus": sorted({r["npus"] for r in rows}),
-            "workloads": sorted({r["workload"] for r in rows}),
-            "dram_gbps": sorted(
-                {r.get("dram_gbps") for r in rows
-                 if r.get("dram_gbps") is not None}) + (
-                     ["unbounded"] if any(
-                         r.get("dram_gbps") is None for r in rows) else []),
-        },
+        "axes": axes,
         "rows": table,
         "throttled_points": [
             {"workload": r["workload"], "dram": r["dram"],
              "npus": r["npus"], "steady_fps": r["steady_fps"],
-             "compute_fps": r["compute_fps"]}
+             "compute_fps": r["compute_fps"],
+             **({"topology": r["topology"]} if "topology" in r else {})}
             for r in throttled
         ],
-        "dram_wall": [
-            {"workload": wl, "dram": dram, "first_throttled_npus": n}
-            for (wl, dram), n in walls.items()
-        ],
+        "dram_wall": [_wall(col, n) for col, n in walls.items()],
     }
 
 

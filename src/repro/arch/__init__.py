@@ -1,4 +1,4 @@
-"""Multi-chiplet module architecture model (chiplets, mesh, NoP, DRAM)."""
+"""Multi-chiplet module architecture model (chiplets, NoP topology, DRAM)."""
 
 from .chiplet import Chiplet
 from .dram import (
@@ -11,7 +11,15 @@ from .dram import (
     workload_dram_bytes,
 )
 from .nop import NOP_28NM, NoPConfig, NoPTransfer, transfer_cost
-from .package import MCMPackage, min_hop_map, simba_package
+from .package import MCMPackage, simba_package
+from .topology import (
+    TOPOLOGY_KINDS,
+    NoPTopology,
+    canonical_topology,
+    min_hop_map,
+    parse_topology,
+    topology_for,
+)
 
 __all__ = [
     "Chiplet",
@@ -29,4 +37,9 @@ __all__ = [
     "MCMPackage",
     "min_hop_map",
     "simba_package",
+    "TOPOLOGY_KINDS",
+    "NoPTopology",
+    "canonical_topology",
+    "parse_topology",
+    "topology_for",
 ]

@@ -30,9 +30,9 @@ class Chiplet:
     def dataflow(self) -> str:
         return self.accel.dataflow
 
-    def hops_to(self, other: "Chiplet") -> int:
-        """Manhattan (XY-routed) hop distance to another chiplet."""
-        return abs(self.x - other.x) + abs(self.y - other.y)
+    # Hop distances are owned by the package topology
+    # (``MCMPackage.hops`` / ``repro.arch.topology.NoPTopology``): a
+    # chiplet alone cannot know whether its grid wraps around.
 
     def with_accel(self, accel: AcceleratorConfig) -> "Chiplet":
         return replace(self, accel=accel)

@@ -1,63 +1,34 @@
 """Multi-chiplet module (MCM) package model.
 
-A :class:`MCMPackage` is a rectangular mesh of accelerator chiplets joined by
-a Network-on-Package.  The canonical instance is the Simba-like 6x6 package
-of 256-PE chiplets (9,216 PEs total, matching the Tesla NPU budget the paper
-uses); a dual-NPU platform composes two of them (Sec. V-B).
+A :class:`MCMPackage` is a grid of accelerator chiplets joined by a
+Network-on-Package whose hop geometry is a first-class
+:class:`~repro.arch.topology.NoPTopology` (open mesh, torus, or a
+parameterized ``WxH`` grid).  The canonical instance is the Simba-like
+6x6 mesh of 256-PE chiplets (9,216 PEs total, matching the Tesla NPU
+budget the paper uses); a dual-NPU platform composes two of them
+(Sec. V-B).
 
-Quadrants are 3x3 chiplet blocks; the paper's scheduler assigns one
-perception stage per quadrant, so the package exposes quadrant membership
-and per-stage chiplet budgets.
+Quadrants are 3x3 chiplet blocks on the standard tiling (2x2 blocks on
+explicit ``WxH`` grids); the paper's scheduler assigns one perception
+stage per quadrant, so the package exposes quadrant membership and
+per-stage chiplet budgets.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..cost import AcceleratorConfig, simba_chiplet
 from .chiplet import Chiplet
 from .nop import NOP_28NM, NoPConfig
+from .topology import NoPTopology, min_hop_map, topology_for
 
-
-def min_hop_map(mesh_w: int, mesh_h: int,
-                sources: list[tuple[int, int]]) -> list[list[int]]:
-    """Min XY-routed hops from every mesh cell to the nearest source.
-
-    Two-pass L1 distance transform over the mesh — O(cells) regardless
-    of the source count, and identical to ``min(|dx| + |dy|)`` because
-    the mesh has no holes.  Indexed ``[x][y]``.
-    """
-    inf = mesh_w + mesh_h  # exceeds any reachable distance
-    dist = [inf] * (mesh_w * mesh_h)  # flat, index x * mesh_h + y
-    for x, y in sources:
-        dist[x * mesh_h + y] = 0
-    for x in range(mesh_w):
-        base = x * mesh_h
-        for y in range(mesh_h):
-            i = base + y
-            d = dist[i]
-            if x and dist[i - mesh_h] + 1 < d:
-                d = dist[i - mesh_h] + 1
-            if y and dist[i - 1] + 1 < d:
-                d = dist[i - 1] + 1
-            dist[i] = d
-    last_x, last_y = mesh_w - 1, mesh_h - 1
-    for x in range(last_x, -1, -1):
-        base = x * mesh_h
-        for y in range(last_y, -1, -1):
-            i = base + y
-            d = dist[i]
-            if x < last_x and dist[i + mesh_h] + 1 < d:
-                d = dist[i + mesh_h] + 1
-            if y < last_y and dist[i + 1] + 1 < d:
-                d = dist[i + 1] + 1
-            dist[i] = d
-    return [dist[x * mesh_h:(x + 1) * mesh_h] for x in range(mesh_w)]
+__all__ = ["MCMPackage", "min_hop_map", "simba_package"]
 
 
 @dataclass
 class MCMPackage:
-    """A mesh of chiplets plus NoP parameters."""
+    """A grid of chiplets plus NoP parameters and topology."""
 
     name: str
     mesh_w: int
@@ -66,8 +37,19 @@ class MCMPackage:
     nop: NoPConfig = NOP_28NM
     #: number of 6x6 NPU modules composed into this package
     npus: int = 1
+    #: hop geometry of the package grid; ``None`` defaults to the seed
+    #: open mesh of the package's own dimensions.
+    topology: NoPTopology | None = None
 
     def __post_init__(self) -> None:
+        if self.topology is None:
+            self.topology = NoPTopology("mesh", self.mesh_w, self.mesh_h)
+        if (self.topology.width, self.topology.height) != \
+                (self.mesh_w, self.mesh_h):
+            raise ValueError(
+                f"{self.name}: topology grid "
+                f"{self.topology.width}x{self.topology.height} does not "
+                f"match the {self.mesh_w}x{self.mesh_h} package")
         if len(self.chiplets) != self.mesh_w * self.mesh_h:
             raise ValueError(
                 f"{self.name}: {len(self.chiplets)} chiplets do not fill a "
@@ -108,8 +90,10 @@ class MCMPackage:
         return len(self.quadrant(q))
 
     def hops(self, a: int, b: int) -> int:
-        """XY-routed hop count between two chiplet ids."""
-        return self.chiplet(a).hops_to(self.chiplet(b))
+        """Topology-routed hop count between two chiplet ids."""
+        assert self.topology is not None  # set in __post_init__
+        return self.topology.hops(self.chiplet(a).coords,
+                                  self.chiplet(b).coords)
 
     def with_dataflow_at(self, coords: list[tuple[int, int]],
                          accel: AcceleratorConfig) -> "MCMPackage":
@@ -129,7 +113,7 @@ class MCMPackage:
         if targets:
             raise KeyError(f"coords not on mesh: {sorted(targets)}")
         return MCMPackage(self.name + "+het", self.mesh_w, self.mesh_h,
-                          new, self.nop, self.npus)
+                          new, self.nop, self.npus, self.topology)
 
 
 def _quadrant_of(x: int, y: int) -> int:
@@ -144,23 +128,56 @@ def _quadrant_of(x: int, y: int) -> int:
     return 4 * module + (y // 3) * 2 + (lx // 3)
 
 
+def _grid_quadrant_of(x: int, y: int, width: int, height: int) -> int:
+    """Quadrant index on an explicit ``WxH`` grid: 2x2 blocks of
+    ``(W/2)x(H/2)`` chiplets, row-major (4 quadrants total)."""
+    return (y // (height // 2)) * 2 + (x // (width // 2))
+
+
 def simba_package(dataflow: str = "os", npus: int = 1,
                   accel: AcceleratorConfig | None = None,
-                  nop: NoPConfig = NOP_28NM) -> MCMPackage:
-    """Build one or more Simba-like 6x6 MCM NPUs as a single mesh.
+                  nop: NoPConfig = NOP_28NM,
+                  topology: str | NoPTopology | None = None) -> MCMPackage:
+    """Build one or more Simba-like 6x6 MCM NPUs as a single grid.
 
     ``npus=2`` models the paper's Sec. V-B platform with both FSD NPUs
-    active (72 chiplets, 18,432 PEs) as a 12x6 mesh.
+    active (72 chiplets, 18,432 PEs) as a 12x6 mesh.  ``topology``
+    selects the NoP hop geometry: ``None``/``"mesh"`` keep the seed open
+    mesh, ``"torus"`` adds wraparound links at the same grid size, and
+    an explicit ``KIND-WxH`` token (e.g. ``"torus-8x8"``, single-module
+    only) sizes the grid directly with a 2x2 quadrant tiling.
     """
     if npus < 1:
         raise ValueError("npus must be >= 1")
+    if isinstance(topology, NoPTopology):
+        topo = topology
+    else:
+        topo = topology_for(topology, npus)
     base = accel or simba_chiplet(dataflow)
-    mesh_w, mesh_h = 6 * npus, 6
+    mesh_w, mesh_h = topo.width, topo.height
+    standard_tiling = (mesh_w, mesh_h) == (6 * npus, 6)
+    if not standard_tiling:
+        # The token path already enforces these via parse_topology; a
+        # directly-passed NoPTopology instance must meet the same 2x2
+        # quadrant-tiling preconditions (and fix the whole package, so
+        # it cannot combine with multi-module tiling).
+        if npus != 1:
+            raise ValueError(
+                f"topology grid {mesh_w}x{mesh_h} is incompatible with "
+                f"npus={npus}: the grid already fixes the package size")
+        if mesh_w < 2 or mesh_h < 2 or mesh_w % 2 or mesh_h % 2:
+            raise ValueError(
+                f"topology grid {mesh_w}x{mesh_h} must have even width "
+                f"and height >= 2 (the 2x2 quadrant tiling needs both)")
     chiplets = []
     cid = 0
     for y in range(mesh_h):
         for x in range(mesh_w):
-            chiplets.append(Chiplet(cid, x, y, base, _quadrant_of(x, y)))
+            quad = (_quadrant_of(x, y) if standard_tiling
+                    else _grid_quadrant_of(x, y, mesh_w, mesh_h))
+            chiplets.append(Chiplet(cid, x, y, base, quad))
             cid += 1
-    return MCMPackage(f"simba-{mesh_w}x{mesh_h}-{dataflow}",
-                      mesh_w, mesh_h, chiplets, nop, npus)
+    name = f"simba-{mesh_w}x{mesh_h}-{dataflow}"
+    if topo.kind != "mesh":
+        name = f"simba-{mesh_w}x{mesh_h}-{topo.kind}-{dataflow}"
+    return MCMPackage(name, mesh_w, mesh_h, chiplets, nop, npus, topo)

@@ -1,0 +1,214 @@
+"""Package-level NoP topologies (paper Sec. IV-D follow-on).
+
+The seed model hard-wired the package interconnect to an XY-routed *open*
+rectangular mesh: every hop count was a Manhattan distance, computed
+inline wherever it was needed (placement, schedule pricing, the package's
+``hops`` accessor).  :class:`NoPTopology` promotes that geometry to a
+first-class object so the topology itself becomes a sweep axis:
+
+* ``mesh`` — the seed open grid; XY-routed hops are plain L1 distances.
+* ``torus`` — the same grid with wraparound links on both axes; the
+  per-axis hop count becomes ``min(d, size - d)``, which shortens every
+  route longer than half the grid (the paper's Sec. IV-D observation
+  that package-level interconnect topology, not just link bandwidth,
+  bounds multi-chiplet latency).
+* parameterized ``WxH`` grids — packages beyond the side-by-side 6x6
+  NPU tiling, quadrant-partitioned into 2x2 blocks.
+
+Everything hop-shaped routes through this object: ``hops(a, b)`` prices
+one route, :meth:`NoPTopology.min_hop_map` builds the multi-source
+nearest-hop map placement and schedule pricing share.  The mesh map
+delegates to the same two-pass L1 distance transform the seed used, so
+default-topology results are bit-identical to the seed model.
+
+Plan keying: group plans are currently topology-independent (sharding
+prices compute only), but the plan cache and store key conservatively via
+:attr:`NoPTopology.plan_context` — ``None`` for any mesh (the seed
+geometry class, keeping every existing key byte-stable) and the kind
+token otherwise, so torus-planned entries can never be served to a mesh
+run (or vice versa) even once planning becomes NoP-aware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: supported topology kinds, in canonical order.
+TOPOLOGY_KINDS = ("mesh", "torus")
+
+
+def min_hop_map(mesh_w: int, mesh_h: int,
+                sources: list[tuple[int, int]]) -> list[list[int]]:
+    """Min XY-routed hops from every open-mesh cell to the nearest source.
+
+    Two-pass L1 distance transform over the mesh — O(cells) regardless
+    of the source count, and identical to ``min(|dx| + |dy|)`` because
+    the mesh has no holes.  Indexed ``[x][y]``.
+    """
+    inf = mesh_w + mesh_h  # exceeds any reachable distance
+    dist = [inf] * (mesh_w * mesh_h)  # flat, index x * mesh_h + y
+    for x, y in sources:
+        dist[x * mesh_h + y] = 0
+    for x in range(mesh_w):
+        base = x * mesh_h
+        for y in range(mesh_h):
+            i = base + y
+            d = dist[i]
+            if x and dist[i - mesh_h] + 1 < d:
+                d = dist[i - mesh_h] + 1
+            if y and dist[i - 1] + 1 < d:
+                d = dist[i - 1] + 1
+            dist[i] = d
+    last_x, last_y = mesh_w - 1, mesh_h - 1
+    for x in range(last_x, -1, -1):
+        base = x * mesh_h
+        for y in range(last_y, -1, -1):
+            i = base + y
+            d = dist[i]
+            if x < last_x and dist[i + mesh_h] + 1 < d:
+                d = dist[i + mesh_h] + 1
+            if y < last_y and dist[i + 1] + 1 < d:
+                d = dist[i + 1] + 1
+            dist[i] = d
+    return [dist[x * mesh_h:(x + 1) * mesh_h] for x in range(mesh_w)]
+
+
+@dataclass(frozen=True)
+class NoPTopology:
+    """Hop geometry of the package's Network-on-Package grid."""
+
+    kind: str = "mesh"
+    width: int = 6
+    height: int = 6
+
+    def __post_init__(self) -> None:
+        if self.kind not in TOPOLOGY_KINDS:
+            raise ValueError(
+                f"unknown topology kind {self.kind!r}; valid choices: "
+                f"{', '.join(TOPOLOGY_KINDS)}")
+        if self.width < 1 or self.height < 1:
+            raise ValueError(
+                f"topology grid must be at least 1x1, "
+                f"got {self.width}x{self.height}")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def wraparound(self) -> bool:
+        """True when both axes close into rings (torus)."""
+        return self.kind == "torus"
+
+    @property
+    def token(self) -> str:
+        """Canonical axis token for this topology (``torus-8x8`` form)."""
+        return f"{self.kind}-{self.width}x{self.height}"
+
+    @property
+    def plan_context(self) -> "str | None":
+        """Plan-cache/store keying context for this topology.
+
+        ``None`` for any mesh — the seed geometry class, so every plan
+        key (and PlanStore content hash) produced before topologies
+        existed stays byte-stable.  Any other kind returns its token
+        kind, so e.g. torus-planned store entries are never served to a
+        mesh sweep even though today's sharding plans are
+        topology-independent: the keying is conservative so NoP-aware
+        planning can land without a store schema bump.
+        """
+        return None if self.kind == "mesh" else self.kind
+
+    # ------------------------------------------------------------------
+    # Hop geometry
+    # ------------------------------------------------------------------
+
+    def hops(self, a: tuple[int, int], b: tuple[int, int]) -> int:
+        """XY-routed hop count between two grid coordinates.
+
+        On a torus each axis may route through the wraparound link, so
+        the per-axis distance is ``min(d, size - d)``.
+        """
+        dx = abs(a[0] - b[0])
+        dy = abs(a[1] - b[1])
+        if self.wraparound:
+            dx = min(dx, self.width - dx)
+            dy = min(dy, self.height - dy)
+        return dx + dy
+
+    def min_hop_map(self,
+                    sources: list[tuple[int, int]]) -> list[list[int]]:
+        """Min hops from every grid cell to the nearest source.
+
+        Indexed ``[x][y]``.  The mesh path is the seed's two-pass L1
+        distance transform (bit-identical maps); the torus path uses the
+        closed-form wraparound distance, exact for per-axis XY routing.
+        Empty source sets yield the mesh's unreachable sentinel
+        (``width + height``) everywhere, mirroring the transform.
+        """
+        if not self.wraparound:
+            return min_hop_map(self.width, self.height, sources)
+        w, h = self.width, self.height
+        if not sources:
+            return [[w + h] * h for _ in range(w)]
+        out = []
+        for x in range(w):
+            col = []
+            for y in range(h):
+                cell = (x, y)
+                col.append(min(self.hops(cell, s) for s in sources))
+            out.append(col)
+        return out
+
+
+def parse_topology(token: str) -> "tuple[str, tuple[int, int] | None]":
+    """Parse a topology axis token into ``(kind, explicit grid dims)``.
+
+    Accepted forms: ``mesh`` / ``torus`` (grid sized by the package's
+    NPU count) and ``KIND-WxH`` (an explicit grid, e.g. ``torus-8x8``).
+    Explicit grids need even dimensions >= 2 so the 2x2 quadrant tiling
+    (one perception stage per quadrant) stays well-defined.
+    """
+    text = token.strip().lower()
+    kind, sep, size = text.partition("-")
+    if kind not in TOPOLOGY_KINDS:
+        raise ValueError(
+            f"unknown topology {token!r}; valid choices: "
+            f"{', '.join(TOPOLOGY_KINDS)}, optionally with an explicit "
+            f"grid as KIND-WxH (e.g. torus-8x8)")
+    if not sep:
+        return kind, None
+    w_text, x, h_text = size.partition("x")
+    if not x or not w_text.isdigit() or not h_text.isdigit():
+        raise ValueError(
+            f"bad topology grid in {token!r}: expected KIND-WxH with "
+            f"integer dimensions, e.g. mesh-8x8")
+    dims = (int(w_text), int(h_text))
+    if dims[0] < 2 or dims[1] < 2 or dims[0] % 2 or dims[1] % 2:
+        raise ValueError(
+            f"topology grid {token!r} must have even width and height "
+            f">= 2 (the 2x2 quadrant tiling needs both)")
+    return kind, dims
+
+
+def canonical_topology(token: str) -> str:
+    """Validate and canonicalize one topology token (lowercased form)."""
+    kind, dims = parse_topology(token)
+    return kind if dims is None else f"{kind}-{dims[0]}x{dims[1]}"
+
+
+def topology_for(token: "str | None", npus: int) -> NoPTopology:
+    """Resolve a topology token against a package of ``npus`` modules.
+
+    ``None`` and size-less tokens take the standard side-by-side tiling
+    (``6*npus x 6``); an explicit ``KIND-WxH`` grid sizes the package
+    directly and is only meaningful for a single-module package.
+    """
+    if token is None:
+        return NoPTopology("mesh", 6 * npus, 6)
+    kind, dims = parse_topology(token)
+    if dims is None:
+        return NoPTopology(kind, 6 * npus, 6)
+    if npus != 1:
+        raise ValueError(
+            f"explicit topology grid {token!r} is incompatible with "
+            f"npus={npus}: the grid already fixes the package size")
+    return NoPTopology(kind, dims[0], dims[1])

@@ -15,6 +15,7 @@ across worker processes and merge the results deterministically::
         --het-budgets none,2,4 --json --output results/sweep.json
     chiplet-npu sweep --dataflows os,ws --frequencies-ghz none,1.0 \\
         --axis native_tile=16x16,8x8 --dram-gbps none,6
+    chiplet-npu sweep --nop-gbps 25,50,100 --topologies mesh,torus
     chiplet-npu sweep --workloads default,hires --workers 4 \\
         --stream --store results/planstore
 
@@ -78,6 +79,10 @@ def _sweep_parser() -> argparse.ArgumentParser:
     parser.add_argument("--dram-gbps", default="none",
                         help="comma-separated package DRAM bandwidths in "
                              "GB/s ('none' = compute-only steady state)")
+    parser.add_argument("--topologies", default="none",
+                        help="comma-separated NoP topologies (mesh, "
+                             "torus, or KIND-WxH grids like torus-8x8; "
+                             "'none' = the seed open mesh)")
     parser.add_argument("--axis", action="append", default=[],
                         metavar="NAME=VALUES",
                         help="extra axis by canonical name (e.g. "
@@ -112,6 +117,7 @@ def _grid_kwargs(args) -> dict:
         "frequency_ghz": args.frequencies_ghz,
         "native_tile": args.native_tiles,
         "dram_gbps": args.dram_gbps,
+        "topology": args.topologies,
     }
     for item in args.axis:
         name, sep, values = item.partition("=")
@@ -186,10 +192,12 @@ def _run_sweep(argv: list[str]) -> int:
         ("ghz", "frequency_ghz", lambda v: v),
         ("tile", "native_tile", lambda v: f"{v[0]}x{v[1]}"),
         ("dram", "dram_gbps", lambda v: v),
+        ("topo", "topology", lambda v: v),
     ]
     shown_hw = [(label, field, fmt) for label, field, fmt in hw_columns
                 if any(field in r for r in result.rows)]
     has_dram = any("dram_throttled" in r for r in result.rows)
+    has_hops = any("nop_avg_hops" in r for r in result.rows)
     display = []
     for row in result.rows:
         shown = {
@@ -212,6 +220,9 @@ def _run_sweep(argv: list[str]) -> int:
         if has_dram:
             shown["dram_bound"] = ("yes" if row.get("dram_throttled")
                                    else "-")
+        if has_hops:
+            shown["avg_hops"] = (round(row["nop_avg_hops"], 2)
+                                 if "nop_avg_hops" in row else "-")
         if has_trunk:
             shown["trunk_edp"] = (round(row["trunk_edp_j_ms"], 2)
                                   if "trunk_edp_j_ms" in row else "-")
@@ -246,6 +257,10 @@ def _scaling_parser() -> argparse.ArgumentParser:
                              "('none' = compute-only column)")
     parser.add_argument("--workloads", default="default",
                         help="comma-separated workload variant names")
+    parser.add_argument("--topologies", default="none",
+                        help="comma-separated NoP topologies (mesh/torus; "
+                             "'none' = the seed open mesh); setting this "
+                             "adds topology and mean-hop columns")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes (1 = serial)")
     parser.add_argument("--store", default=None, metavar="DIR",
@@ -269,10 +284,12 @@ def _run_scaling_report(argv: list[str]) -> int:
             "npus": args.npus,
             "dram_gbps": args.dram_gbps,
             "workload": args.workloads,
+            "topology": args.topologies,
         })
         result = scaling.run(npus=kwargs["npus"],
                              dram_gbps=kwargs["dram_gbps"],
                              workloads=kwargs["workloads"],
+                             topologies=kwargs["topologies"],
                              workers=args.workers,
                              store_path=args.store)
     except (ValueError, KeyError) as exc:

@@ -11,7 +11,7 @@ groups stay clustered.
 
 from __future__ import annotations
 
-from ..arch import MCMPackage, min_hop_map
+from ..arch import MCMPackage
 from ..workloads.graph import PerceptionWorkload
 
 
@@ -44,6 +44,11 @@ def place(workload: PerceptionWorkload,
     prev_stage_ids: list[int] = []
     xs = [package.chiplet(c).x for c in range(len(package))]
     ys = [package.chiplet(c).y for c in range(len(package))]
+    # All hop geometry routes through the package topology: the anchor
+    # distance map and the peer-distance term below are wraparound-aware
+    # on a torus and identical to the seed L1 math on the open mesh.
+    topo = package.topology
+    peer_hops = topo.hops
     for stage in workload.stages:
         cells = [c.chiplet_id
                  for q in stage_quadrants[stage.name]
@@ -73,8 +78,7 @@ def place(workload: PerceptionWorkload,
             # tie-break) are identical to scoring from scratch.
             inf = float("inf")
             if anchors:
-                hop_map = min_hop_map(
-                    package.mesh_w, package.mesh_h,
+                hop_map = topo.min_hop_map(
                     [(xs[a], ys[a]) for a in anchors])
                 anchor_d = {cid: hop_map[xs[cid]][ys[cid]] for cid in free}
             else:
@@ -93,11 +97,11 @@ def place(workload: PerceptionWorkload,
             free.remove(best)
             chosen = [best]
             while len(chosen) < n:
-                bx, by = xs[best], ys[best]
+                last = (xs[best], ys[best])
                 nxt = free[0]
                 nxt_score = None
                 for cid in free:
-                    d = abs(xs[cid] - bx) + abs(ys[cid] - by)
+                    d = peer_hops((xs[cid], ys[cid]), last)
                     if d < peer_d[cid]:
                         peer_d[cid] = d
                     score = anchor_d[cid] + 0.5 * peer_d[cid]

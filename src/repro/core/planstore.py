@@ -66,19 +66,25 @@ def _accel_fragment(accel: "AcceleratorConfig") -> str:
 
 
 def _compose_key_text(group_json: str, n: int, accel_json: str,
-                      mode: str) -> str:
+                      mode: str, context: str | None = None) -> str:
     """The canonical key payload, composed from pre-serialized fragments.
 
     Equivalent to ``json.dumps({"accel": ..., "group": ..., "mode": ...,
     "n": ...}, sort_keys=True, separators=(",", ":"))`` — the field names
-    are already in sorted order here.
+    are already in sorted order here.  A non-``None`` planning context
+    (e.g. a non-mesh NoP topology kind) adds a ``"context"`` field; the
+    default omits it, so every hash minted before contexts existed stays
+    byte-identical and old store shards remain addressable.
     """
-    return (f'{{"accel":{accel_json},"group":{group_json},'
-            f'"mode":{json.dumps(mode)},"n":{n}}}')
+    if context is None:
+        return (f'{{"accel":{accel_json},"group":{group_json},'
+                f'"mode":{json.dumps(mode)},"n":{n}}}')
+    return (f'{{"accel":{accel_json},"context":{json.dumps(context)},'
+            f'"group":{group_json},"mode":{json.dumps(mode)},"n":{n}}}')
 
 
 def plan_key_hash(group: "LayerGroup", n: int, accel: "AcceleratorConfig",
-                  mode: str) -> str:
+                  mode: str, context: str | None = None) -> str:
     """SHA-256 content hash of one plan-cache key.
 
     Canonical form: sorted-key JSON over the serialized group, the chiplet
@@ -86,13 +92,15 @@ def plan_key_hash(group: "LayerGroup", n: int, accel: "AcceleratorConfig",
     ``group_to_dict``/``accel_to_dict`` views artifacts use.  Layer
     ``tags`` are excluded (they are excluded from ``Layer`` equality too);
     everything cost-relevant — including ``weights_are_activations`` — is
-    part of the serialized views.
+    part of the serialized views.  ``context`` scopes the key to a
+    planning context (today: the package's non-mesh NoP topology kind),
+    so e.g. torus-planned entries never collide with mesh entries.
     """
     # Imports inside the serialize helpers are lazy: repro.io.serialize
     # imports from repro.core, so a module-level import would cycle
     # during package initialization.
     text = _compose_key_text(_group_fragment(group), n,
-                             _accel_fragment(accel), mode)
+                             _accel_fragment(accel), mode, context)
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
@@ -123,9 +131,10 @@ class PlanStore:
     # ------------------------------------------------------------------
 
     def key_hash(self, group: "LayerGroup", n: int,
-                 accel: "AcceleratorConfig", mode: str) -> str:
+                 accel: "AcceleratorConfig", mode: str,
+                 context: str | None = None) -> str:
         """Memoized :func:`plan_key_hash` for this store instance."""
-        memo_key = (group, n, accel, mode)
+        memo_key = (group, n, accel, mode, context)
         cached = self._hash_memo.get(memo_key)
         if cached is None:
             group_json = self._group_fragments.get(group)
@@ -136,7 +145,8 @@ class PlanStore:
             if accel_json is None:
                 accel_json = _accel_fragment(accel)
                 self._accel_fragments[accel] = accel_json
-            text = _compose_key_text(group_json, n, accel_json, mode)
+            text = _compose_key_text(group_json, n, accel_json, mode,
+                                     context)
             cached = hashlib.sha256(text.encode("utf-8")).hexdigest()
             self._hash_memo[memo_key] = cached
         return cached

@@ -118,6 +118,10 @@ class ThroughputMatcher:
         self.package = package or simba_package()
         self.tolerance = tolerance
         self.colocate_threshold_s = colocate_threshold_s
+        # Plan-cache/store keying context: None on the seed mesh (keys
+        # stay byte-stable), the topology kind otherwise — plans priced
+        # under one topology are never served to another.
+        self.plan_context = self.package.topology.plan_context
         # DRAM is accounting-only: the sharding decisions are unchanged
         # (streaming more weights is not relieved by more chiplets), but
         # the returned Schedule's steady-state metrics are throttled by
@@ -186,7 +190,8 @@ class ThroughputMatcher:
             used = 0
             for idx, g in enumerate(stage.groups):
                 if g.name in colocated:
-                    plans[g.name] = plan_group(g, 1, accel)
+                    plans[g.name] = plan_group(g, 1, accel,
+                                               self.plan_context)
                     continue
                 n = 1
                 if si == 0 and g.instances > 1:
@@ -199,7 +204,7 @@ class ThroughputMatcher:
                                    and other.name not in plans)
                     avail = capacity[stage.name] - used - reserved
                     n = max(1, min(g.instances, avail))
-                plans[g.name] = plan_group(g, n, accel)
+                plans[g.name] = plan_group(g, n, accel, self.plan_context)
                 used += plans[g.name].n_chiplets
         state = _State(
             workload=self.workload,
@@ -222,7 +227,8 @@ class ThroughputMatcher:
         colocated: dict[str, str] = {}
         for stage in self.workload.stages:
             for g in stage.groups:
-                plan = plan_group(g, 1, accel_of[stage.name])
+                plan = plan_group(g, 1, accel_of[stage.name],
+                                  self.plan_context)
                 if plan.span_s >= self.colocate_threshold_s:
                     continue
                 consumers = [h for h in stage.groups
@@ -254,7 +260,8 @@ class ThroughputMatcher:
         current = state.plans[group.name]
         max_n = current.n_chiplets + state.budget_left(stage_name)
         plan = next_shard_step(group, current.n_chiplets, max_n,
-                               state.accel_of[stage_name], current=current)
+                               state.accel_of[stage_name], current=current,
+                               context=self.plan_context)
         if plan is None:
             return False
         state.plans[group.name] = plan

@@ -14,6 +14,11 @@ the plan store/cache amortize the per-``npus`` plans across the DRAM
 axis for free (DRAM throttling is accounting-only and reuses identical
 group plans), and the emitted document is a deterministic function of
 the grid.
+
+A ``topologies`` axis (e.g. ``("mesh", "torus")``) adds the NoP
+topology to the column structure plus per-row ``topology`` /
+``nop_avg_hops`` columns; the default (axis unset) keeps the document
+byte-identical to the PR 3 report.  See docs/TOPOLOGY.md.
 """
 
 from __future__ import annotations
@@ -30,16 +35,21 @@ from ..viz import sparkline
 DEFAULT_NPUS = (1, 2, 4)
 DEFAULT_DRAM_GBPS = (None, 6.0, 2.0)
 DEFAULT_WORKLOADS = ("default",)
+#: default topology axis: unset = the seed open mesh (byte-stable
+#: report); pass e.g. ("mesh", "torus") for the NoP-topology columns.
+DEFAULT_TOPOLOGIES = (None,)
 
 
 def run(npus=DEFAULT_NPUS,
         dram_gbps=DEFAULT_DRAM_GBPS,
         workloads=DEFAULT_WORKLOADS,
+        topologies=DEFAULT_TOPOLOGIES,
         workers: int = 1,
         store_path: str | pathlib.Path | None = None) -> dict:
     """Run the scaling grid and build the report document."""
     grid = scenario_grid(npus=tuple(npus), workloads=tuple(workloads),
-                         dram_gbps=tuple(dram_gbps))
+                         dram_gbps=tuple(dram_gbps),
+                         topologies=tuple(topologies))
     result = ScenarioSweep(grid, workers=workers,
                            store_path=store_path).run()
     return chiplet_scaling_report(result.rows)
@@ -48,10 +58,16 @@ def run(npus=DEFAULT_NPUS,
 def render(result: dict | None = None) -> str:
     """Human-readable scaling report (table + per-column curves)."""
     result = result or run()
-    display = [
-        {
+    has_topology = any("topology" in r for r in result["rows"])
+    display = []
+    for r in result["rows"]:
+        shown = {
             "workload": r["workload"],
             "dram": r["dram"],
+        }
+        if has_topology:
+            shown["topology"] = r.get("topology") or "mesh"
+        shown.update({
             "npus": r["npus"],
             "chiplets": r["chiplets"],
             "pipe_ms": r["pipe_ms"],
@@ -59,15 +75,20 @@ def render(result: dict | None = None) -> str:
             "speedup": r["speedup"],
             "efficiency": r["scaling_efficiency"],
             "throttled": "DRAM" if r["dram_throttled"] else "-",
-        }
-        for r in result["rows"]
-    ]
+        })
+        if has_topology:
+            shown["avg_hops"] = r.get("nop_avg_hops", "-")
+        display.append(shown)
     parts = [format_table(
-        display, "Chiplet-count scaling (npus x workload x DRAM budget)")]
+        display, "Chiplet-count scaling (npus x workload x DRAM budget"
+                 + (" x topology)" if has_topology else ")"))]
 
     curves: dict[tuple, list] = {}
     for r in result["rows"]:
-        curves.setdefault((r["workload"], r["dram"]), []).append(r["speedup"])
+        label = r["dram"]
+        if "topology" in r:
+            label = f"{label}/{r['topology']}"
+        curves.setdefault((r["workload"], label), []).append(r["speedup"])
     for (workload, dram), speedups in sorted(curves.items()):
         parts.append(f"  {workload:>12s} @ {dram:<10s} "
                      f"speedup {sparkline(speedups)}  "

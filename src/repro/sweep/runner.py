@@ -55,6 +55,12 @@ _SUMMARY_FIELDS = ("e2e_ms", "pipe_ms", "energy_j", "edp_j_ms",
 _DRAM_FIELDS = ("compute_pipe_ms", "dram_ms", "dram_bw_util",
                 "dram_energy_j", "dram_throttled")
 
+#: extra hop metrics present only when a scenario sets ``topology``
+#: (likewise gated so default-axis rows stay byte-stable); an explicit
+#: ``topology=mesh`` row carries them too, which is how mesh-vs-torus
+#: comparisons read both sides from one sweep artifact.
+_TOPOLOGY_FIELDS = ("nop_avg_hops", "nop_max_hops")
+
 
 def layer_cost_cache_stats() -> CacheStats:
     """This process's layer-cost ``evaluate`` lru_cache counters.
@@ -85,6 +91,9 @@ def run_scenario(scenario: Scenario) -> dict:
     if scenario.dram_gbps is not None:
         for name in _DRAM_FIELDS:
             row[name] = summary[name]
+    if scenario.topology is not None:
+        for name in _TOPOLOGY_FIELDS:
+            row[name] = getattr(schedule, name)
     row["shard_steps"] = sum(t.action == "shard" for t in schedule.trace)
 
     if scenario.het_ws_budget is not None:
@@ -123,9 +132,13 @@ def _trunk_columns(scenario: Scenario, workload, ws_budget: int,
     # Hardware overrides are part of the memo identity: two scenarios
     # that differ only in frequency or tile must not share a DSE result.
     # (The scenario *dataflow* axis is not: the trunk DSE explores its
-    # own OS/WS mixes regardless of the package-wide style.)
+    # own OS/WS mixes regardless of the package-wide style.)  The plan
+    # context is part of the key too — the DSE's *columns* are
+    # topology-agnostic, but a torus scenario must still price (and
+    # flush) its plans under the torus context, never mesh's.
     key = (scenario.workload, ws_budget, l_cstr_s, chiplets,
-           scenario.frequency_ghz, scenario.native_tile)
+           scenario.frequency_ghz, scenario.native_tile,
+           scenario.plan_context)
     if key not in _TRUNK_MEMO:
         freq = (None if scenario.frequency_ghz is None
                 else scenario.frequency_ghz * 1e9)
@@ -137,7 +150,8 @@ def _trunk_columns(scenario: Scenario, workload, ws_budget: int,
                         os_accel=os_accel,
                         ws_accel=ws_accel,
                         l_cstr_s=l_cstr_s,
-                        chiplets=chiplets).search(ws_budget)
+                        chiplets=chiplets,
+                        plan_context=scenario.plan_context).search(ws_budget)
         _TRUNK_MEMO[key] = {
             "trunk_label": best.label,
             "trunk_pipe_ms": best.pipe_ms,

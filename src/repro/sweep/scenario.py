@@ -3,11 +3,12 @@
 A :class:`Scenario` is one fully-specified run of the throughput-matching
 scheduler (plus, optionally, the trunk DSE): a workload variant, a package
 size, a NoP bandwidth, a tolerance coefficient, a heterogeneous WS chiplet
-budget — and, since PR 3, the *hardware* axes the accelerator and memory
-models already expose: dataflow style, clock frequency, native dataflow
-tile, and DRAM bandwidth.  Scenarios are frozen, hashable, and
-serializable, with a deterministic ``key`` string used to merge results
-order-independently.
+budget — and the *hardware* axes the accelerator, memory, and package
+models expose: dataflow style, clock frequency, native dataflow tile,
+DRAM bandwidth, and (since PR 4) the package NoP topology (``mesh``,
+``torus``, or explicit ``KIND-WxH`` grids).  Scenarios are frozen,
+hashable, and serializable, with a deterministic ``key`` string used to
+merge results order-independently.
 
 The hardware axes all default to ``None`` = seed behavior: they are
 excluded from ``key`` and ``to_dict()`` unless set, so grids that do not
@@ -34,6 +35,8 @@ from ..arch import (
     DramBudget,
     MCMPackage,
     NoPConfig,
+    canonical_topology,
+    parse_topology,
     simba_package,
     workload_dram_bytes,
 )
@@ -131,6 +134,9 @@ class Scenario:
     #: package DRAM bandwidth in GB/s; None detaches the DRAM budget
     #: (compute-only steady state, the seed behavior).
     dram_gbps: float | None = None
+    #: NoP topology token ("mesh", "torus", or "KIND-WxH" explicit
+    #: grids); None keeps the seed open mesh.
+    topology: str | None = None
 
     def __post_init__(self) -> None:
         # tolerance/npus/workload have no "default" sentinel: an explicit
@@ -160,6 +166,17 @@ class Scenario:
             object.__setattr__(self, "native_tile", tuple(tile))
         if self.dram_gbps is not None and self.dram_gbps <= 0:
             raise ValueError("dram_gbps must be positive")
+        if self.topology is not None:
+            # Canonicalize so "Torus" / "torus-8X8" key identically, and
+            # fail fast on tokens (or npus conflicts) the package builder
+            # would reject mid-sweep.
+            _, dims = parse_topology(self.topology)
+            if dims is not None and self.npus != 1:
+                raise ValueError(
+                    f"topology {self.topology!r} fixes an explicit grid "
+                    f"and is incompatible with npus={self.npus}")
+            object.__setattr__(self, "topology",
+                               canonical_topology(self.topology))
         workload_variant(self.workload)  # fail fast on unknown variants
 
     @property
@@ -181,6 +198,8 @@ class Scenario:
             parts.append(f"tile={self.native_tile[0]}x{self.native_tile[1]}")
         if self.dram_gbps is not None:
             parts.append(f"dram={self.dram_gbps:g}")
+        if self.topology is not None:
+            parts.append(f"topo={self.topology}")
         return "|".join(parts)
 
     def to_dict(self) -> dict:
@@ -200,11 +219,28 @@ class Scenario:
             out["native_tile"] = list(self.native_tile)
         if self.dram_gbps is not None:
             out["dram_gbps"] = self.dram_gbps
+        if self.topology is not None:
+            out["topology"] = self.topology
         return out
 
     # ------------------------------------------------------------------
     # Hardware materialization
     # ------------------------------------------------------------------
+
+    @property
+    def plan_context(self) -> str | None:
+        """Plan-cache/store keying context implied by the topology axis.
+
+        Mirrors :attr:`repro.arch.NoPTopology.plan_context`: ``None`` for
+        the unset axis or any explicit mesh (the seed geometry class),
+        the kind token otherwise.  Every planner a scenario drives — the
+        throughput matcher *and* the trunk DSE — must key its plans with
+        this, so no store shard ever crosses topologies.
+        """
+        if self.topology is None:
+            return None
+        kind, _ = parse_topology(self.topology)
+        return None if kind == "mesh" else kind
 
     def accel(self) -> AcceleratorConfig:
         """The chiplet config this scenario's axes describe.
@@ -234,7 +270,8 @@ class Scenario:
                if self.nop_gbps is not None else NoPConfig())
         accel = self.accel()
         return simba_package(dataflow=accel.dataflow, npus=self.npus,
-                             accel=accel, nop=nop)
+                             accel=accel, nop=nop,
+                             topology=self.topology)
 
     def build(self) -> ScenarioBuild:
         """Materialize the ``(workload, package, DramBudget)`` triple.
@@ -264,8 +301,9 @@ def scenario_grid(
         frequencies_ghz: Sequence[float | None] = (None,),
         native_tiles: Sequence[tuple[int, int] | None] = (None,),
         dram_gbps: Sequence[float | None] = (None,),
+        topologies: Sequence[str | None] = (None,),
 ) -> list[Scenario]:
-    """Cartesian scenario grid over the nine sweep axes.
+    """Cartesian scenario grid over the ten sweep axes.
 
     The expansion order is deterministic (row-major over the arguments as
     given), so a grid built twice from the same inputs is identical — the
@@ -276,7 +314,8 @@ def scenario_grid(
     grid = [
         Scenario(tolerance=tol, nop_gbps=bw, npus=n,
                  workload=wl, het_ws_budget=het, dataflow=df,
-                 frequency_ghz=ghz, native_tile=tile, dram_gbps=dram)
+                 frequency_ghz=ghz, native_tile=tile, dram_gbps=dram,
+                 topology=topo)
         for tol in tolerances
         for bw in nop_gbps
         for n in npus
@@ -286,6 +325,7 @@ def scenario_grid(
         for ghz in frequencies_ghz
         for tile in native_tiles
         for dram in dram_gbps
+        for topo in topologies
     ]
     seen: set[str] = set()
     for s in grid:
@@ -311,6 +351,16 @@ def _parse_dataflow(text: str) -> str:
     if text not in _STYLES:
         raise ValueError(f"expected one of {', '.join(_STYLES)}")
     return text
+
+
+def _parse_topology_token(text: str) -> str:
+    """Validate and canonicalize one topology axis token.
+
+    Delegates to :func:`repro.arch.canonical_topology`, whose errors
+    list the valid kinds and the ``KIND-WxH`` grid form — wrapped by
+    :func:`parse_axis` with the offending axis name.
+    """
+    return canonical_topology(text)
 
 
 @dataclass(frozen=True)
@@ -346,6 +396,8 @@ AXIS_SPECS: dict[str, AxisSpec] = {
                             "native dataflow tile, ROWSxCOLS"),
     "dram_gbps": AxisSpec("dram_gbps", float, True,
                           "package DRAM bandwidth in GB/s"),
+    "topology": AxisSpec("topologies", _parse_topology_token, True,
+                         "NoP topology: mesh, torus, or KIND-WxH grid"),
 }
 
 

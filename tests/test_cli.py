@@ -54,6 +54,63 @@ class TestSweepCli:
         with pytest.raises(SystemExit):
             main(["sweep", "--workers", "0"])
 
+    def test_bad_topology_names_axis_and_choices(self, capsys):
+        # `--axis topology=ring` must fail with a parser error that names
+        # the offending axis and lists the valid topology kinds.
+        with pytest.raises(SystemExit):
+            main(["sweep", "--axis", "topology=ring"])
+        err = capsys.readouterr().err
+        assert "'ring'" in err and "'topology'" in err
+        assert "mesh, torus" in err
+
+    def test_bad_topology_grid_errors_cleanly(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--topologies", "torus-8x"])
+        err = capsys.readouterr().err
+        assert "'torus-8x'" in err and "KIND-WxH" in err
+
+    def test_malformed_tile_axis_errors_cleanly(self, capsys):
+        # a truncated tuple token must produce the named-axis message,
+        # not a bare cast traceback.
+        with pytest.raises(SystemExit):
+            main(["sweep", "--axis", "native_tile=16x"])
+        err = capsys.readouterr().err
+        assert "'16x'" in err and "'native_tile'" in err
+        assert "ROWSxCOLS" in err
+
+    def test_unknown_axis_name_lists_known_axes(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--axis", "pes=256"])
+        err = capsys.readouterr().err
+        assert "unknown sweep axis 'pes'" in err
+        assert "topology" in err  # the new axis is advertised
+
+    def test_axis_without_values_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--axis", "topology"])
+        err = capsys.readouterr().err
+        assert "NAME=VALUES" in err
+
+    def test_explicit_grid_with_npus_conflict_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--npus", "2", "--topologies", "torus-8x8"])
+        err = capsys.readouterr().err
+        assert "npus=2" in err
+
+    def test_topology_axis_reaches_rows(self, capsys):
+        assert main(["sweep", "--topologies", "mesh,torus", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        rows = payload["rows"]
+        assert [r["topology"] for r in rows] == ["mesh", "torus"]
+        assert rows[1]["nop_avg_hops"] < rows[0]["nop_avg_hops"]
+
+    def test_report_scaling_topology_axis(self, capsys):
+        assert main(["report", "scaling", "--npus", "1",
+                     "--dram-gbps", "none",
+                     "--topologies", "mesh,torus", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["axes"]["topologies"] == ["mesh", "torus"]
+
     def test_flags_before_subcommand(self, capsys):
         # argparse allows options before the positional; both shared and
         # sweep-specific flags must reach the sweep parser.

@@ -1,0 +1,154 @@
+"""Tests for the benches-as-baselines CI gate (benchmarks/compare_baselines).
+
+The comparator is plain stdlib and lives outside the package (it must run
+before anything is importable in CI), so load it by path.
+"""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_MODULE_PATH = (pathlib.Path(__file__).resolve().parent.parent
+                / "benchmarks" / "compare_baselines.py")
+
+
+@pytest.fixture(scope="module")
+def comparator():
+    spec = importlib.util.spec_from_file_location(
+        "compare_baselines", _MODULE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    # dataclasses resolves the module's postponed annotations through
+    # sys.modules, so the by-path load must register itself first.
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        yield module
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+def _write(directory, name, payload):
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / name).write_text(json.dumps(payload))
+
+
+PLANSTORE_OK = {
+    "rows_byte_identical": True,
+    "warm_plan_cache": {"misses": 0},
+    "grid_scenarios": 16,
+    "speedup": 3.3,
+}
+
+
+class TestGates:
+    def test_exact_gate(self, comparator):
+        gate = comparator.Gate("x", "exact")
+        assert gate.check(True, True)[0]
+        assert not gate.check(False, True)[0]
+        assert gate.check([1, 2], [1, 2])[0]
+
+    def test_ratio_gates(self, comparator):
+        floor = comparator.Gate("x", "min_ratio", 0.4)
+        assert floor.check(1.4, 3.3)[0]
+        assert not floor.check(1.2, 3.3)[0]
+        ceil = comparator.Gate("x", "max_ratio", 2.5)
+        assert ceil.check(4.0, 1.76)[0]
+        assert not ceil.check(4.5, 1.76)[0]
+
+    def test_dig_dotted_paths(self, comparator):
+        assert comparator.dig({"a": {"b": 3}}, "a.b") == 3
+        with pytest.raises(KeyError):
+            comparator.dig({"a": {}}, "a.b")
+
+
+class TestMain:
+    def test_passes_when_within_tolerance(self, comparator, tmp_path,
+                                          capsys):
+        _write(tmp_path / "baselines", "BENCH_planstore.json", PLANSTORE_OK)
+        _write(tmp_path / "results", "BENCH_planstore.json",
+               {**PLANSTORE_OK, "speedup": 2.0})
+        rc = comparator.main(["--results", str(tmp_path / "results"),
+                              "--baselines", str(tmp_path / "baselines")])
+        assert rc == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_fails_on_invariant_regression(self, comparator, tmp_path,
+                                           capsys):
+        _write(tmp_path / "baselines", "BENCH_planstore.json", PLANSTORE_OK)
+        broken = {**PLANSTORE_OK, "rows_byte_identical": False,
+                  "warm_plan_cache": {"misses": 7}}
+        _write(tmp_path / "results", "BENCH_planstore.json", broken)
+        rc = comparator.main(["--results", str(tmp_path / "results"),
+                              "--baselines", str(tmp_path / "baselines")])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "rows_byte_identical" in err
+        assert "warm_plan_cache.misses" in err
+
+    def test_fails_on_speed_regression_beyond_tolerance(self, comparator,
+                                                        tmp_path, capsys):
+        _write(tmp_path / "baselines", "BENCH_planstore.json", PLANSTORE_OK)
+        _write(tmp_path / "results", "BENCH_planstore.json",
+               {**PLANSTORE_OK, "speedup": 1.0})  # < 0.4 * 3.3
+        rc = comparator.main(["--results", str(tmp_path / "results"),
+                              "--baselines", str(tmp_path / "baselines")])
+        assert rc == 1
+        assert "speedup" in capsys.readouterr().err
+
+    def test_fails_when_result_missing(self, comparator, tmp_path, capsys):
+        _write(tmp_path / "baselines", "BENCH_planstore.json", PLANSTORE_OK)
+        (tmp_path / "results").mkdir()
+        rc = comparator.main(["--results", str(tmp_path / "results"),
+                              "--baselines", str(tmp_path / "baselines")])
+        assert rc == 1
+        assert "no fresh result" in capsys.readouterr().err
+
+    def test_fails_on_ungated_baseline(self, comparator, tmp_path, capsys):
+        # A committed baseline that CHECKS does not know about must fail
+        # loudly instead of silently gating nothing.
+        _write(tmp_path / "baselines", "BENCH_planstore.json", PLANSTORE_OK)
+        _write(tmp_path / "baselines", "BENCH_mystery.json", {"x": 1})
+        _write(tmp_path / "results", "BENCH_planstore.json", PLANSTORE_OK)
+        rc = comparator.main(["--results", str(tmp_path / "results"),
+                              "--baselines", str(tmp_path / "baselines")])
+        assert rc == 1
+        assert "no registered gates" in capsys.readouterr().err
+
+    def test_fails_without_any_baselines(self, comparator, tmp_path,
+                                         capsys):
+        (tmp_path / "results").mkdir()
+        rc = comparator.main(["--results", str(tmp_path / "results"),
+                              "--baselines", str(tmp_path / "baselines")])
+        assert rc == 1
+        assert "no baselines" in capsys.readouterr().err
+
+    def test_unlocked_result_is_note_not_failure(self, comparator,
+                                                 tmp_path, capsys):
+        _write(tmp_path / "baselines", "BENCH_planstore.json", PLANSTORE_OK)
+        _write(tmp_path / "results", "BENCH_planstore.json", PLANSTORE_OK)
+        _write(tmp_path / "results", "BENCH_new.json", {"anything": 1})
+        rc = comparator.main(["--results", str(tmp_path / "results"),
+                              "--baselines", str(tmp_path / "baselines")])
+        assert rc == 0
+        assert "no baseline yet" in capsys.readouterr().out
+
+    def test_update_promotes_results(self, comparator, tmp_path, capsys):
+        _write(tmp_path / "results", "BENCH_planstore.json", PLANSTORE_OK)
+        rc = comparator.main(["--results", str(tmp_path / "results"),
+                              "--baselines", str(tmp_path / "baselines"),
+                              "--update"])
+        assert rc == 0
+        promoted = json.loads(
+            (tmp_path / "baselines" / "BENCH_planstore.json").read_text())
+        assert promoted == PLANSTORE_OK
+
+    def test_committed_baselines_have_all_tracked_paths(self, comparator):
+        """The committed seed baselines must carry every gated metric."""
+        baselines = _MODULE_PATH.parent / "baselines"
+        for name, gates in comparator.CHECKS.items():
+            payload = json.loads((baselines / name).read_text())
+            for gate in gates:
+                comparator.dig(payload, gate.path)  # raises if missing
