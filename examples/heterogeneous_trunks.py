@@ -39,6 +39,21 @@ def main() -> None:
               f"energy={cfg.energy_j * 1e3:.2f} mJ, "
               f"DET on {cfg.alloc['DET_TR'][1].upper()}")
 
+    # The generic per-quadrant hetero axis (docs/HETERO.md): whole-quadrant
+    # compositions as sweep scenarios, scheduled end to end by Algorithm 1
+    # on the mixed package (so WS trunks can row-shard, unlike the
+    # model-whole DSE mapping above).
+    print("\nPer-quadrant packages through the generic hetero axis:")
+    from repro.sweep import Scenario, run_scenario
+    for token in (None, "trunk:ws", "trunk:ws@1.2"):
+        row = run_scenario(Scenario(hetero=token))
+        line = (f"  {token or 'homogeneous':>12s}: "
+                f"pipe {row['pipe_ms']:7.2f} ms, "
+                f"energy {row['energy_j']:.3f} J")
+        if token:
+            line += f"  [{row['package_composition']}]"
+        print(line)
+
 
 if __name__ == "__main__":
     main()

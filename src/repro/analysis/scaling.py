@@ -44,14 +44,15 @@ def chiplet_scaling_rows(rows: list[dict]) -> list[dict]:
     """
     columns: dict[tuple, list[dict]] = {}
     for row in rows:
-        key = (row["workload"], row.get("dram_gbps"), row.get("topology"))
+        key = (row["workload"], row.get("dram_gbps"), row.get("topology"),
+               row.get("hetero"))
         columns.setdefault(key, []).append(row)
     out: list[dict] = []
-    for (workload, dram_gbps, topology), col in sorted(
+    for (workload, dram_gbps, topology, hetero), col in sorted(
             columns.items(),
             key=lambda kv: (kv[0][0],
                             kv[0][1] is not None, kv[0][1] or 0.0,
-                            kv[0][2] or "")):
+                            kv[0][2] or "", kv[0][3] or "")):
         col = sorted(col, key=lambda r: r["npus"])
         base = col[0]
         for row in col:
@@ -73,11 +74,17 @@ def chiplet_scaling_rows(rows: list[dict]) -> list[dict]:
                 "energy_j": round(row["energy_j"], 3),
                 "dram_throttled": bool(row.get("dram_throttled", False)),
             }
-            # Topology columns appear only when the axis was set on the
-            # input rows, so default-grid reports stay byte-identical.
+            # Topology/hetero columns appear only when the axis was set
+            # on the input rows, so default-grid reports stay
+            # byte-identical.
             if topology is not None:
                 entry["topology"] = topology
                 entry["nop_avg_hops"] = round(row["nop_avg_hops"], 3)
+            if hetero is not None:
+                entry["hetero"] = hetero
+                entry["package_composition"] = row["package_composition"]
+                entry["trunk_utilization"] = round(
+                    row["stage_utilization"]["TRUNKS"], 4)
             out.append(entry)
     return out
 
@@ -97,7 +104,8 @@ def chiplet_scaling_report(rows: list[dict]) -> dict:
     # label strings would misplace budgets >= 10 GB/s).
     walls: dict[tuple, int] = {}
     for r in throttled:
-        col = (r["workload"], r["dram"], r.get("topology"))
+        col = (r["workload"], r["dram"], r.get("topology"),
+               r.get("hetero"))
         if col not in walls:
             walls[col] = r["npus"]
     axes = {
@@ -109,17 +117,22 @@ def chiplet_scaling_report(rows: list[dict]) -> dict:
                  ["unbounded"] if any(
                      r.get("dram_gbps") is None for r in rows) else []),
     }
-    # The topology axis (and per-wall topology labels) appear only when
+    # The topology/hetero axes (and per-wall labels) appear only when
     # the input rows carry one, keeping the default document byte-stable.
     topologies = sorted({r["topology"] for r in table if "topology" in r})
     if topologies:
         axes["topologies"] = topologies
+    heteros = sorted({r["hetero"] for r in table if "hetero" in r})
+    if heteros:
+        axes["heteros"] = heteros
 
     def _wall(col: tuple, n: int) -> dict:
-        wl, dram, topology = col
+        wl, dram, topology, hetero = col
         entry = {"workload": wl, "dram": dram, "first_throttled_npus": n}
         if topology is not None:
             entry["topology"] = topology
+        if hetero is not None:
+            entry["hetero"] = hetero
         return entry
 
     return {
@@ -129,7 +142,8 @@ def chiplet_scaling_report(rows: list[dict]) -> dict:
             {"workload": r["workload"], "dram": r["dram"],
              "npus": r["npus"], "steady_fps": r["steady_fps"],
              "compute_fps": r["compute_fps"],
-             **({"topology": r["topology"]} if "topology" in r else {})}
+             **({"topology": r["topology"]} if "topology" in r else {}),
+             **({"hetero": r["hetero"]} if "hetero" in r else {})}
             for r in throttled
         ],
         "dram_wall": [_wall(col, n) for col, n in walls.items()],

@@ -12,6 +12,14 @@ from .dram import (
 )
 from .nop import NOP_28NM, NoPConfig, NoPTransfer, transfer_cost
 from .package import MCMPackage, simba_package
+from .quadrants import (
+    QUADRANT_NAMES,
+    QuadrantOverride,
+    QuadrantOverrides,
+    hetero_cells,
+    package_composition,
+    quadrant_ids,
+)
 from .topology import (
     TOPOLOGY_KINDS,
     NoPTopology,
@@ -37,6 +45,12 @@ __all__ = [
     "MCMPackage",
     "min_hop_map",
     "simba_package",
+    "QUADRANT_NAMES",
+    "QuadrantOverride",
+    "QuadrantOverrides",
+    "hetero_cells",
+    "package_composition",
+    "quadrant_ids",
     "TOPOLOGY_KINDS",
     "NoPTopology",
     "canonical_topology",

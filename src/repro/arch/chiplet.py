@@ -30,6 +30,15 @@ class Chiplet:
     def dataflow(self) -> str:
         return self.accel.dataflow
 
+    @property
+    def hw_token(self) -> str:
+        """Compact hardware description of this chiplet (``ws@1.2`` form).
+
+        Delegates to :attr:`AcceleratorConfig.hw_token`; heterogeneous
+        package composition strings are built from these.
+        """
+        return self.accel.hw_token
+
     # Hop distances are owned by the package topology
     # (``MCMPackage.hops`` / ``repro.arch.topology.NoPTopology``): a
     # chiplet alone cannot know whether its grid wraps around.

@@ -95,25 +95,40 @@ class MCMPackage:
         return self.topology.hops(self.chiplet(a).coords,
                                   self.chiplet(b).coords)
 
+    def with_accels(self, accel_of: dict[int, AcceleratorConfig],
+                    suffix: str = "+het") -> "MCMPackage":
+        """Return a copy with per-chiplet accelerator replacements.
+
+        ``accel_of`` maps chiplet ids to their new configs; every other
+        chiplet is kept.  This is the one mixed-package construction
+        primitive: whole-quadrant overrides
+        (:meth:`repro.arch.quadrants.QuadrantOverrides.apply`) and the
+        paper's partial Het(k) trunk embeddings (``repro.core.hetero``)
+        both route through it.
+        """
+        unknown = set(accel_of) - {c.chiplet_id for c in self.chiplets}
+        if unknown:
+            raise KeyError(f"chiplet ids not in package: {sorted(unknown)}")
+        new = [c.with_accel(accel_of[c.chiplet_id])
+               if c.chiplet_id in accel_of else c
+               for c in self.chiplets]
+        return MCMPackage(self.name + suffix, self.mesh_w, self.mesh_h,
+                          new, self.nop, self.npus, self.topology)
+
     def with_dataflow_at(self, coords: list[tuple[int, int]],
                          accel: AcceleratorConfig) -> "MCMPackage":
         """Return a copy with the chiplets at ``coords`` replaced.
 
         Used for heterogeneous integration (Sec. IV-C): Het(2)/Het(4)
         embed 2 or 4 weight-stationary chiplets in the trunk quadrant.
+        Thin coordinate-keyed wrapper over :meth:`with_accels`.
         """
-        targets = set(coords)
-        new = []
-        for c in self.chiplets:
-            if c.coords in targets:
-                new.append(c.with_accel(accel))
-                targets.discard(c.coords)
-            else:
-                new.append(c)
-        if targets:
-            raise KeyError(f"coords not on mesh: {sorted(targets)}")
-        return MCMPackage(self.name + "+het", self.mesh_w, self.mesh_h,
-                          new, self.nop, self.npus, self.topology)
+        missing = [xy for xy in coords
+                   if not any(c.coords == xy for c in self.chiplets)]
+        if missing:
+            raise KeyError(f"coords not on mesh: {sorted(missing)}")
+        return self.with_accels(
+            {self.at(x, y).chiplet_id: accel for x, y in coords})
 
 
 def _quadrant_of(x: int, y: int) -> int:

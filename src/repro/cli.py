@@ -16,6 +16,7 @@ across worker processes and merge the results deterministically::
     chiplet-npu sweep --dataflows os,ws --frequencies-ghz none,1.0 \\
         --axis native_tile=16x16,8x8 --dram-gbps none,6
     chiplet-npu sweep --nop-gbps 25,50,100 --topologies mesh,torus
+    chiplet-npu sweep --hetero none,trunk:ws,trunk:ws@1.2
     chiplet-npu sweep --workloads default,hires --workers 4 \\
         --stream --store results/planstore
 
@@ -83,6 +84,12 @@ def _sweep_parser() -> argparse.ArgumentParser:
                         help="comma-separated NoP topologies (mesh, "
                              "torus, or KIND-WxH grids like torus-8x8; "
                              "'none' = the seed open mesh)")
+    parser.add_argument("--hetero", default="none",
+                        help="comma-separated per-quadrant hardware "
+                             "override tokens (QUAD:DATAFLOW[@GHZ]"
+                             "[/ROWSxCOLS] joined by '+', e.g. "
+                             "trunk:ws@1.2+temporal:@1.5; 'none' = "
+                             "homogeneous package)")
     parser.add_argument("--axis", action="append", default=[],
                         metavar="NAME=VALUES",
                         help="extra axis by canonical name (e.g. "
@@ -118,6 +125,7 @@ def _grid_kwargs(args) -> dict:
         "native_tile": args.native_tiles,
         "dram_gbps": args.dram_gbps,
         "topology": args.topologies,
+        "hetero": args.hetero,
     }
     for item in args.axis:
         name, sep, values = item.partition("=")
@@ -193,6 +201,7 @@ def _run_sweep(argv: list[str]) -> int:
         ("tile", "native_tile", lambda v: f"{v[0]}x{v[1]}"),
         ("dram", "dram_gbps", lambda v: v),
         ("topo", "topology", lambda v: v),
+        ("hetero", "hetero", lambda v: v),
     ]
     shown_hw = [(label, field, fmt) for label, field, fmt in hw_columns
                 if any(field in r for r in result.rows)]
@@ -261,6 +270,11 @@ def _scaling_parser() -> argparse.ArgumentParser:
                         help="comma-separated NoP topologies (mesh/torus; "
                              "'none' = the seed open mesh); setting this "
                              "adds topology and mean-hop columns")
+    parser.add_argument("--hetero", default="none",
+                        help="comma-separated per-quadrant hardware "
+                             "override tokens (e.g. trunk:ws@1.2; 'none' "
+                             "= homogeneous package); setting this adds "
+                             "composition and trunk-utilization columns")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes (1 = serial)")
     parser.add_argument("--store", default=None, metavar="DIR",
@@ -285,11 +299,13 @@ def _run_scaling_report(argv: list[str]) -> int:
             "dram_gbps": args.dram_gbps,
             "workload": args.workloads,
             "topology": args.topologies,
+            "hetero": args.hetero,
         })
         result = scaling.run(npus=kwargs["npus"],
                              dram_gbps=kwargs["dram_gbps"],
                              workloads=kwargs["workloads"],
                              topologies=kwargs["topologies"],
+                             heteros=kwargs["heteros"],
                              workers=args.workers,
                              store_path=args.store)
     except (ValueError, KeyError) as exc:

@@ -7,13 +7,24 @@ output-stationary package, run the trunk DSE to pick the heterogeneous
 trunk mapping under the resulting latency constraint, then emit a single
 package + schedule view with the WS chiplets physically placed in the
 trunk quadrant.
+
+Since the per-quadrant hetero axis landed, this flow is one composition
+of the general mechanism rather than a special case: the WS cells come
+from :func:`repro.arch.quadrants.hetero_cells` (the same corner-preferring
+selection whole-quadrant overrides use, restricted to the Het(k) budget)
+and the mixed package from :meth:`MCMPackage.with_accels` — the single
+mixed-package construction primitive behind
+:class:`~repro.arch.quadrants.QuadrantOverrides` too.  A full-quadrant
+budget (``ws_chiplets == 9`` on the single-NPU package) produces exactly
+the package layout of ``QuadrantOverrides.parse("trunk:ws")``: the Table I
+composition through the generic path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..arch import MCMPackage, simba_package
+from ..arch import MCMPackage, hetero_cells, simba_package
 from ..cost import nvdla_chiplet
 from ..workloads.graph import PerceptionWorkload
 from ..workloads.pipeline import build_perception_workload
@@ -53,16 +64,6 @@ class HeterogeneousResult:
         return self.schedule.energy_j - self.energy_j
 
 
-def _ws_coords(package: MCMPackage, trunk_quadrants: tuple[int, ...],
-               count: int) -> list[tuple[int, int]]:
-    """Deterministic WS chiplet positions inside the trunk quadrant(s)."""
-    cells = [c for q in trunk_quadrants for c in package.quadrant(q)]
-    # Prefer the quadrant corner farthest from the fusion stages so OS
-    # chiplets keep the low-hop paths to their producers.
-    cells.sort(key=lambda c: (-(c.x + c.y), c.chiplet_id))
-    return [c.coords for c in cells[:count]]
-
-
 def schedule_heterogeneous(
         workload: PerceptionWorkload | None = None,
         ws_chiplets: int = 2,
@@ -87,10 +88,11 @@ def schedule_heterogeneous(
 
     package = base_package
     if ws_chiplets > 0:
-        coords = _ws_coords(base_package,
-                            schedule.stage_quadrants["TRUNKS"],
-                            ws_chiplets)
-        package = base_package.with_dataflow_at(coords, nvdla_chiplet())
+        cells = hetero_cells(base_package,
+                             schedule.stage_quadrants["TRUNKS"],
+                             ws_chiplets)
+        package = base_package.with_accels(
+            {c.chiplet_id: nvdla_chiplet() for c in cells})
     return HeterogeneousResult(
         schedule=schedule,
         trunk_config=trunk_config,

@@ -77,6 +77,7 @@ def place(workload: PerceptionWorkload,
             # O(n * free * (anchors + chosen)).  Scores (and the cid
             # tie-break) are identical to scoring from scratch.
             inf = float("inf")
+            anchor_d: dict[int, float]
             if anchors:
                 hop_map = topo.min_hop_map(
                     [(xs[a], ys[a]) for a in anchors])

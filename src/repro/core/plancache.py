@@ -14,9 +14,10 @@ same accelerator hit the same entry even across independent
 ``ThroughputMatcher``/``TrunkDSE`` instances.  ``mode`` distinguishes the
 "best over all shard modes" entry produced by ``plan_group`` (``"best"``)
 from any future mode-pinned lookups; ``context`` scopes entries to a
-planning context (the package's non-mesh NoP topology kind, ``None`` for
-the seed mesh), so plans computed under one topology are never served to
-another.
+planning context — the package's non-mesh NoP topology kind and/or its
+per-quadrant hetero composition (``Scenario.plan_context`` composes
+both; ``None`` for the seed homogeneous mesh) — so plans computed under
+one topology or package composition are never served to another.
 
 The cache also keeps hit/miss counters.  Sweep reports surface them next to
 ``Schedule.summary()`` metrics so cache-effectiveness regressions in the

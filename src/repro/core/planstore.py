@@ -93,8 +93,11 @@ def plan_key_hash(group: "LayerGroup", n: int, accel: "AcceleratorConfig",
     ``tags`` are excluded (they are excluded from ``Layer`` equality too);
     everything cost-relevant — including ``weights_are_activations`` — is
     part of the serialized views.  ``context`` scopes the key to a
-    planning context (today: the package's non-mesh NoP topology kind),
-    so e.g. torus-planned entries never collide with mesh entries.
+    planning context (today: the package's non-mesh NoP topology kind
+    and/or its per-quadrant hetero composition, as composed by
+    ``Scenario.plan_context``), so e.g. torus-planned entries never
+    collide with mesh entries, and heterogeneous-package entries never
+    collide with homogeneous ones.
     """
     # Imports inside the serialize helpers are lazy: repro.io.serialize
     # imports from repro.core, so a module-level import would cycle

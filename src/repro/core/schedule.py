@@ -382,6 +382,28 @@ class Schedule:
                         for c in self.package.chiplets)
         return self.workload.total_macs / pe_cycles
 
+    def stage_utilization(self) -> dict[str, float]:
+        """Useful MACs over PE-cycles per stage's quadrant set.
+
+        The per-quadrant view behind the package number: each stage's
+        groups execute on its own quadrants, whose chiplets contribute
+        cycles at their *own* clock — so on a per-quadrant heterogeneous
+        package this shows which quadrant's hardware is the good (or
+        poor) match for its stage, where :attr:`utilization` only
+        reports the blend.  Every value is in ``(0, 1]`` in exact
+        arithmetic: a chiplet cannot execute more MACs per cycle than
+        its native tile holds, nor be busy longer than the window.
+        """
+        window = self.pipe_latency_s
+        out: dict[str, float] = {}
+        for stage in self.workload.stages:
+            chiplets = [c for q in self.stage_quadrants[stage.name]
+                        for c in self.package.quadrant(q)]
+            pe_cycles = sum(c.accel.pe_count * c.accel.frequency_hz * window
+                            for c in chiplets)
+            out[stage.name] = stage.total_macs / pe_cycles
+        return out
+
     def summary(self) -> dict:
         """Headline metrics as a plain dict (used by experiments/CLI).
 

@@ -109,7 +109,8 @@ class ThroughputMatcher:
                  tolerance: float = 1.05,
                  colocate_threshold_s: float = 0.005,
                  dram: DramBudget | None = None,
-                 dram_bytes_per_frame: int = 0):
+                 dram_bytes_per_frame: int = 0,
+                 plan_context: str | None = None):
         if tolerance < 1.0:
             raise ValueError("tolerance must be >= 1.0")
         if dram_bytes_per_frame < 0:
@@ -120,8 +121,13 @@ class ThroughputMatcher:
         self.colocate_threshold_s = colocate_threshold_s
         # Plan-cache/store keying context: None on the seed mesh (keys
         # stay byte-stable), the topology kind otherwise — plans priced
-        # under one topology are never served to another.
-        self.plan_context = self.package.topology.plan_context
+        # under one topology are never served to another.  An explicit
+        # ``plan_context`` widens the scope further (a Scenario passes
+        # its combined topology + per-quadrant-hetero context, so
+        # heterogeneous rows never share store shards with homogeneous
+        # ones); ``None`` keeps the topology-derived default.
+        self.plan_context = (plan_context if plan_context is not None
+                             else self.package.topology.plan_context)
         # DRAM is accounting-only: the sharding decisions are unchanged
         # (streaming more weights is not relieved by more chiplets), but
         # the returned Schedule's steady-state metrics are throttled by
@@ -236,6 +242,14 @@ class ThroughputMatcher:
                 host = None
                 for cand in consumers + [
                         self.workload.find_group(d) for d in g.depends_on]:
+                    if cand.stage != g.stage:
+                        # A host in another stage lives on another
+                        # quadrant's (possibly different, per-quadrant
+                        # heterogeneous) hardware, which would mis-price
+                        # the hosted span; dependencies are intra-stage
+                        # in every current workload, so this never
+                        # triggers today.
+                        continue
                     if cand.name not in colocated:
                         host = cand.name
                         break

@@ -111,6 +111,7 @@ class AcceleratorConfig:
                        name=f"{self.name}[{dataflow}]")
 
     def with_overrides(self,
+                       dataflow: str | None = None,
                        frequency_hz: float | None = None,
                        native_tile: tuple[int, int] | None = None,
                        ) -> "AcceleratorConfig":
@@ -119,11 +120,14 @@ class AcceleratorConfig:
         The name is kept on purpose: an override changes *parameters* of
         the same engine, and every field participates in equality,
         hashing, and the plan store's content hash — so two configs that
-        differ only in frequency never share a plan entry, while an
-        explicit override equal to the default stays identical to the
-        unmodified preset (and keeps its cached plans).
+        differ only in frequency (or dataflow: per-quadrant heterogeneous
+        packages override it on one quadrant's chiplets) never share a
+        plan entry, while an explicit override equal to the default stays
+        identical to the unmodified preset (and keeps its cached plans).
         """
         overrides: dict = {}
+        if dataflow is not None:
+            overrides["dataflow"] = dataflow
         if frequency_hz is not None:
             overrides["frequency_hz"] = frequency_hz
         if native_tile is not None:
@@ -131,6 +135,19 @@ class AcceleratorConfig:
         if not overrides:
             return self
         return replace(self, **overrides)
+
+    @property
+    def hw_token(self) -> str:
+        """Compact hardware description: ``ws@1.2`` / ``os@2/8x8`` form.
+
+        The dataflow and clock always appear; the native tile only when
+        it differs from the 16x16 Simba array.  Used by package
+        composition strings (heterogeneous sweep rows and reports).
+        """
+        token = f"{self.dataflow}@{self.frequency_hz / 1e9:g}"
+        if self.native_tile != (16, 16):
+            token += f"/{self.native_tile[0]}x{self.native_tile[1]}"
+        return token
 
 
 # ----------------------------------------------------------------------

@@ -33,7 +33,6 @@ paper reports.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from ..workloads.layers import Layer, LayerKind

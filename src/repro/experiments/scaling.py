@@ -17,8 +17,11 @@ the grid.
 
 A ``topologies`` axis (e.g. ``("mesh", "torus")``) adds the NoP
 topology to the column structure plus per-row ``topology`` /
-``nop_avg_hops`` columns; the default (axis unset) keeps the document
-byte-identical to the PR 3 report.  See docs/TOPOLOGY.md.
+``nop_avg_hops`` columns; a ``heteros`` axis (e.g. ``(None,
+"trunk:ws")``) likewise adds the per-quadrant package composition plus
+``hetero`` / ``package_composition`` / ``trunk_utilization`` columns.
+The defaults (both axes unset) keep the document byte-identical to the
+PR 3 report.  See docs/TOPOLOGY.md and docs/HETERO.md.
 """
 
 from __future__ import annotations
@@ -38,18 +41,23 @@ DEFAULT_WORKLOADS = ("default",)
 #: default topology axis: unset = the seed open mesh (byte-stable
 #: report); pass e.g. ("mesh", "torus") for the NoP-topology columns.
 DEFAULT_TOPOLOGIES = (None,)
+#: default hetero axis: unset = homogeneous packages (byte-stable
+#: report); pass e.g. (None, "trunk:ws") for per-quadrant columns.
+DEFAULT_HETEROS = (None,)
 
 
 def run(npus=DEFAULT_NPUS,
         dram_gbps=DEFAULT_DRAM_GBPS,
         workloads=DEFAULT_WORKLOADS,
         topologies=DEFAULT_TOPOLOGIES,
+        heteros=DEFAULT_HETEROS,
         workers: int = 1,
         store_path: str | pathlib.Path | None = None) -> dict:
     """Run the scaling grid and build the report document."""
     grid = scenario_grid(npus=tuple(npus), workloads=tuple(workloads),
                          dram_gbps=tuple(dram_gbps),
-                         topologies=tuple(topologies))
+                         topologies=tuple(topologies),
+                         heteros=tuple(heteros))
     result = ScenarioSweep(grid, workers=workers,
                            store_path=store_path).run()
     return chiplet_scaling_report(result.rows)
@@ -59,6 +67,7 @@ def render(result: dict | None = None) -> str:
     """Human-readable scaling report (table + per-column curves)."""
     result = result or run()
     has_topology = any("topology" in r for r in result["rows"])
+    has_hetero = any("hetero" in r for r in result["rows"])
     display = []
     for r in result["rows"]:
         shown = {
@@ -67,6 +76,8 @@ def render(result: dict | None = None) -> str:
         }
         if has_topology:
             shown["topology"] = r.get("topology") or "mesh"
+        if has_hetero:
+            shown["hetero"] = r.get("hetero") or "-"
         shown.update({
             "npus": r["npus"],
             "chiplets": r["chiplets"],
@@ -78,16 +89,24 @@ def render(result: dict | None = None) -> str:
         })
         if has_topology:
             shown["avg_hops"] = r.get("nop_avg_hops", "-")
+        if has_hetero:
+            shown["trunk_util"] = r.get("trunk_utilization", "-")
         display.append(shown)
+    axes_label = "npus x workload x DRAM budget"
+    if has_topology:
+        axes_label += " x topology"
+    if has_hetero:
+        axes_label += " x hetero"
     parts = [format_table(
-        display, "Chiplet-count scaling (npus x workload x DRAM budget"
-                 + (" x topology)" if has_topology else ")"))]
+        display, f"Chiplet-count scaling ({axes_label})")]
 
     curves: dict[tuple, list] = {}
     for r in result["rows"]:
         label = r["dram"]
         if "topology" in r:
             label = f"{label}/{r['topology']}"
+        if "hetero" in r:
+            label = f"{label}/{r['hetero']}"
         curves.setdefault((r["workload"], label), []).append(r["speedup"])
     for (workload, dram), speedups in sorted(curves.items()):
         parts.append(f"  {workload:>12s} @ {dram:<10s} "

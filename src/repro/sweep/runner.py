@@ -61,6 +61,14 @@ _DRAM_FIELDS = ("compute_pipe_ms", "dram_ms", "dram_bw_util",
 #: comparisons read both sides from one sweep artifact.
 _TOPOLOGY_FIELDS = ("nop_avg_hops", "nop_max_hops")
 
+# Rows of scenarios that set ``hetero`` additionally carry
+# ``package_composition`` (the canonical per-quadrant hardware string)
+# and ``stage_utilization`` (per-stage useful-MAC utilization at each
+# quadrant's own clock); both are gated on the axis so default rows stay
+# byte-stable, and a no-op override (e.g. ``trunk:os@2``) carries them
+# too — that is how hetero-vs-homogeneous comparisons read both sides
+# from one artifact.
+
 
 def layer_cost_cache_stats() -> CacheStats:
     """This process's layer-cost ``evaluate`` lru_cache counters.
@@ -94,6 +102,10 @@ def run_scenario(scenario: Scenario) -> dict:
     if scenario.topology is not None:
         for name in _TOPOLOGY_FIELDS:
             row[name] = getattr(schedule, name)
+    if scenario.hetero is not None:
+        from ..arch import package_composition
+        row["package_composition"] = package_composition(built.package)
+        row["stage_utilization"] = schedule.stage_utilization()
     row["shard_steps"] = sum(t.action == "shard" for t in schedule.trace)
 
     if scenario.het_ws_budget is not None:
@@ -132,20 +144,22 @@ def _trunk_columns(scenario: Scenario, workload, ws_budget: int,
     # Hardware overrides are part of the memo identity: two scenarios
     # that differ only in frequency or tile must not share a DSE result.
     # (The scenario *dataflow* axis is not: the trunk DSE explores its
-    # own OS/WS mixes regardless of the package-wide style.)  The plan
+    # own OS/WS mixes regardless of the package-wide style.)  The trunk
+    # quadrant's hardware is the *effective* one — a per-quadrant
+    # ``trunk`` override wins over the scenario-wide axes.  The plan
     # context is part of the key too — the DSE's *columns* are
-    # topology-agnostic, but a torus scenario must still price (and
-    # flush) its plans under the torus context, never mesh's.
+    # topology-agnostic, but a torus or heterogeneous scenario must
+    # still price (and flush) its plans under its own context, never the
+    # homogeneous mesh one.
+    trunk_ghz, trunk_tile = scenario.trunk_hw()
     key = (scenario.workload, ws_budget, l_cstr_s, chiplets,
-           scenario.frequency_ghz, scenario.native_tile,
-           scenario.plan_context)
+           trunk_ghz, trunk_tile, scenario.plan_context)
     if key not in _TRUNK_MEMO:
-        freq = (None if scenario.frequency_ghz is None
-                else scenario.frequency_ghz * 1e9)
+        freq = None if trunk_ghz is None else trunk_ghz * 1e9
         os_accel = shidiannao_chiplet().with_overrides(
-            frequency_hz=freq, native_tile=scenario.native_tile)
+            frequency_hz=freq, native_tile=trunk_tile)
         ws_accel = nvdla_chiplet().with_overrides(
-            frequency_hz=freq, native_tile=scenario.native_tile)
+            frequency_hz=freq, native_tile=trunk_tile)
         best = TrunkDSE(stage=workload.stage(STAGE_TR),
                         os_accel=os_accel,
                         ws_accel=ws_accel,

@@ -5,10 +5,12 @@ scheduler (plus, optionally, the trunk DSE): a workload variant, a package
 size, a NoP bandwidth, a tolerance coefficient, a heterogeneous WS chiplet
 budget — and the *hardware* axes the accelerator, memory, and package
 models expose: dataflow style, clock frequency, native dataflow tile,
-DRAM bandwidth, and (since PR 4) the package NoP topology (``mesh``,
-``torus``, or explicit ``KIND-WxH`` grids).  Scenarios are frozen,
-hashable, and serializable, with a deterministic ``key`` string used to
-merge results order-independently.
+DRAM bandwidth, the package NoP topology (``mesh``, ``torus``, or
+explicit ``KIND-WxH`` grids), and per-quadrant hardware overrides
+(``hetero``, compact tokens like ``trunk:ws@1.2`` — see
+:mod:`repro.arch.quadrants`).  Scenarios are frozen, hashable, and
+serializable, with a deterministic ``key`` string used to merge results
+order-independently.
 
 The hardware axes all default to ``None`` = seed behavior: they are
 excluded from ``key`` and ``to_dict()`` unless set, so grids that do not
@@ -35,6 +37,7 @@ from ..arch import (
     DramBudget,
     MCMPackage,
     NoPConfig,
+    QuadrantOverrides,
     canonical_topology,
     parse_topology,
     simba_package,
@@ -94,17 +97,28 @@ class ScenarioBuild:
 
     @property
     def accel(self) -> AcceleratorConfig:
-        """The (possibly overridden) chiplet config of the package."""
+        """The (possibly overridden) package-wide chiplet config.
+
+        On a per-quadrant heterogeneous package this is chiplet 0's
+        config (the ``fe`` quadrant); consult the package's chiplets for
+        the per-quadrant mix.
+        """
         return self.package.chiplets[0].accel
 
     def schedule(self) -> "Schedule":
-        """Run the throughput matcher on the materialized hardware."""
+        """Run the throughput matcher on the materialized hardware.
+
+        The scenario's combined plan context (topology + hetero) scopes
+        every plan the matcher prices, so heterogeneous scenarios never
+        share plan-store shards with homogeneous ones.
+        """
         from ..core.throughput import ThroughputMatcher
         return ThroughputMatcher(
             self.workload, self.package,
             tolerance=self.scenario.tolerance,
             dram=self.dram,
-            dram_bytes_per_frame=self.dram_bytes_per_frame).run()
+            dram_bytes_per_frame=self.dram_bytes_per_frame,
+            plan_context=self.scenario.plan_context).run()
 
 
 @dataclass(frozen=True)
@@ -137,6 +151,10 @@ class Scenario:
     #: NoP topology token ("mesh", "torus", or "KIND-WxH" explicit
     #: grids); None keeps the seed open mesh.
     topology: str | None = None
+    #: per-quadrant hardware overrides as a compact token
+    #: ("trunk:ws@1.2+temporal:@1.5" — see repro.arch.quadrants); None
+    #: keeps the package homogeneous (seed behavior).
+    hetero: str | None = None
 
     def __post_init__(self) -> None:
         # tolerance/npus/workload have no "default" sentinel: an explicit
@@ -177,6 +195,12 @@ class Scenario:
                     f"and is incompatible with npus={self.npus}")
             object.__setattr__(self, "topology",
                                canonical_topology(self.topology))
+        if self.hetero is not None:
+            # Canonicalize (quadrant order, %g frequencies) so equivalent
+            # spellings key identically, and fail fast on tokens the
+            # package builder would reject mid-sweep.
+            object.__setattr__(self, "hetero",
+                               QuadrantOverrides.parse(self.hetero).token)
         workload_variant(self.workload)  # fail fast on unknown variants
 
     @property
@@ -200,6 +224,8 @@ class Scenario:
             parts.append(f"dram={self.dram_gbps:g}")
         if self.topology is not None:
             parts.append(f"topo={self.topology}")
+        if self.hetero is not None:
+            parts.append(f"hetero={self.hetero}")
         return "|".join(parts)
 
     def to_dict(self) -> dict:
@@ -221,6 +247,8 @@ class Scenario:
             out["dram_gbps"] = self.dram_gbps
         if self.topology is not None:
             out["topology"] = self.topology
+        if self.hetero is not None:
+            out["hetero"] = self.hetero
         return out
 
     # ------------------------------------------------------------------
@@ -229,18 +257,52 @@ class Scenario:
 
     @property
     def plan_context(self) -> str | None:
-        """Plan-cache/store keying context implied by the topology axis.
+        """Plan-cache/store keying context implied by the hardware axes.
 
-        Mirrors :attr:`repro.arch.NoPTopology.plan_context`: ``None`` for
-        the unset axis or any explicit mesh (the seed geometry class),
-        the kind token otherwise.  Every planner a scenario drives — the
-        throughput matcher *and* the trunk DSE — must key its plans with
-        this, so no store shard ever crosses topologies.
+        Composes the topology fragment (mirroring
+        :attr:`repro.arch.NoPTopology.plan_context`: ``None`` for the
+        unset axis or any explicit mesh, the kind token otherwise) with a
+        ``het:<token>`` fragment when per-quadrant overrides are set —
+        heterogeneous rows must never share a store shard with
+        homogeneous ones, even for the quadrants an override does not
+        touch.  Every planner a scenario drives — the throughput matcher
+        *and* the trunk DSE — must key its plans with this, so no store
+        shard ever crosses topologies or package compositions.  ``None``
+        (both axes unset) keeps every pre-existing key byte-stable.
         """
-        if self.topology is None:
+        parts = []
+        if self.topology is not None:
+            kind, _ = parse_topology(self.topology)
+            if kind != "mesh":
+                parts.append(kind)
+        if self.hetero is not None:
+            parts.append(f"het:{self.hetero}")
+        return "|".join(parts) if parts else None
+
+    def quadrant_overrides(self) -> QuadrantOverrides | None:
+        """The parsed per-quadrant override spec (None when unset)."""
+        if self.hetero is None:
             return None
-        kind, _ = parse_topology(self.topology)
-        return None if kind == "mesh" else kind
+        return QuadrantOverrides.parse(self.hetero)
+
+    def trunk_hw(self) -> tuple[float | None, tuple[int, int] | None]:
+        """Effective ``(frequency_ghz, native_tile)`` of the trunk quadrant.
+
+        The scenario-wide hardware axes overlaid with the ``trunk``
+        quadrant override (if any) — what the trunk DSE's candidate
+        accelerators must run at.  The quadrant *dataflow* is
+        deliberately absent: the DSE explores its own OS/WS mixes
+        regardless of the quadrant's resident style.
+        """
+        freq, tile = self.frequency_ghz, self.native_tile
+        spec = self.quadrant_overrides()
+        trunk = spec.get("trunk") if spec is not None else None
+        if trunk is not None:
+            if trunk.frequency_ghz is not None:
+                freq = trunk.frequency_ghz
+            if trunk.native_tile is not None:
+                tile = trunk.native_tile
+        return freq, tile
 
     def accel(self) -> AcceleratorConfig:
         """The chiplet config this scenario's axes describe.
@@ -265,13 +327,23 @@ class Scenario:
 
     def package(self) -> MCMPackage:
         """Materialize only the package (no workload build) — for callers
-        that pair the scenario's hardware with their own workload."""
+        that pair the scenario's hardware with their own workload.
+
+        Per-quadrant overrides layer on the package-wide accelerator
+        last, so the ``hetero`` axis composes with every other hardware
+        axis (a ``trunk:ws`` override on a 1 GHz package yields a 1 GHz
+        WS trunk quadrant).
+        """
         nop = (NoPConfig(bandwidth_bytes_per_s=self.nop_gbps * 1e9)
                if self.nop_gbps is not None else NoPConfig())
         accel = self.accel()
-        return simba_package(dataflow=accel.dataflow, npus=self.npus,
-                             accel=accel, nop=nop,
-                             topology=self.topology)
+        package = simba_package(dataflow=accel.dataflow, npus=self.npus,
+                                accel=accel, nop=nop,
+                                topology=self.topology)
+        spec = self.quadrant_overrides()
+        if spec is not None:
+            package = spec.apply(package)
+        return package
 
     def build(self) -> ScenarioBuild:
         """Materialize the ``(workload, package, DramBudget)`` triple.
@@ -302,8 +374,9 @@ def scenario_grid(
         native_tiles: Sequence[tuple[int, int] | None] = (None,),
         dram_gbps: Sequence[float | None] = (None,),
         topologies: Sequence[str | None] = (None,),
+        heteros: Sequence[str | None] = (None,),
 ) -> list[Scenario]:
-    """Cartesian scenario grid over the ten sweep axes.
+    """Cartesian scenario grid over the eleven sweep axes.
 
     The expansion order is deterministic (row-major over the arguments as
     given), so a grid built twice from the same inputs is identical — the
@@ -315,7 +388,7 @@ def scenario_grid(
         Scenario(tolerance=tol, nop_gbps=bw, npus=n,
                  workload=wl, het_ws_budget=het, dataflow=df,
                  frequency_ghz=ghz, native_tile=tile, dram_gbps=dram,
-                 topology=topo)
+                 topology=topo, hetero=hmix)
         for tol in tolerances
         for bw in nop_gbps
         for n in npus
@@ -326,6 +399,7 @@ def scenario_grid(
         for tile in native_tiles
         for dram in dram_gbps
         for topo in topologies
+        for hmix in heteros
     ]
     seen: set[str] = set()
     for s in grid:
@@ -363,6 +437,16 @@ def _parse_topology_token(text: str) -> str:
     return canonical_topology(text)
 
 
+def _parse_hetero_token(text: str) -> str:
+    """Validate and canonicalize one per-quadrant hetero axis token.
+
+    Delegates to :meth:`repro.arch.QuadrantOverrides.parse`, whose
+    errors list the valid quadrant names and dataflow styles — wrapped
+    by :func:`parse_axis` with the offending axis name.
+    """
+    return QuadrantOverrides.parse(text).token
+
+
 @dataclass(frozen=True)
 class AxisSpec:
     """How one CLI axis maps onto :func:`scenario_grid`."""
@@ -398,6 +482,9 @@ AXIS_SPECS: dict[str, AxisSpec] = {
                           "package DRAM bandwidth in GB/s"),
     "topology": AxisSpec("topologies", _parse_topology_token, True,
                          "NoP topology: mesh, torus, or KIND-WxH grid"),
+    "hetero": AxisSpec("heteros", _parse_hetero_token, True,
+                       "per-quadrant hardware overrides, e.g. "
+                       "trunk:ws@1.2+temporal:@1.5"),
 }
 
 

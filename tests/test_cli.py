@@ -97,6 +97,53 @@ class TestSweepCli:
         err = capsys.readouterr().err
         assert "npus=2" in err
 
+    def test_bad_hetero_dataflow_names_axis_and_choices(self, capsys):
+        # `--axis hetero=trunk:xx` must fail with a parser error that
+        # names the offending axis and lists the valid dataflow styles.
+        with pytest.raises(SystemExit):
+            main(["sweep", "--axis", "hetero=trunk:xx"])
+        err = capsys.readouterr().err
+        assert "'trunk:xx'" in err and "'hetero'" in err
+        assert "os, ws, rs" in err
+
+    def test_unknown_hetero_quadrant_lists_valid_names(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--hetero", "bogus:ws"])
+        err = capsys.readouterr().err
+        assert "'bogus'" in err and "'hetero'" in err
+        assert "fe, spatial, temporal, trunk" in err
+
+    def test_malformed_hetero_spec_errors_cleanly(self, capsys):
+        # a quadrant with an empty SPEC must produce the named-axis
+        # message, not a bare traceback.
+        with pytest.raises(SystemExit):
+            main(["sweep", "--axis", "hetero=trunk:"])
+        err = capsys.readouterr().err
+        assert "'trunk:'" in err and "'hetero'" in err
+        with pytest.raises(SystemExit):
+            main(["sweep", "--hetero", "trunk:ws@fast"])
+        err = capsys.readouterr().err
+        assert "'fast'" in err and "'hetero'" in err
+
+    def test_hetero_axis_reaches_rows(self, capsys):
+        assert main(["sweep", "--hetero", "none,trunk:ws", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        rows = payload["rows"]
+        assert "hetero" not in rows[0]
+        assert rows[1]["hetero"] == "trunk:ws"
+        assert rows[1]["package_composition"].endswith("trunk:ws@2")
+        assert rows[1]["pipe_ms"] > rows[0]["pipe_ms"]  # WS trunks cost
+
+    def test_report_scaling_hetero_axis(self, capsys):
+        assert main(["report", "scaling", "--npus", "1",
+                     "--dram-gbps", "none",
+                     "--hetero", "none,trunk:ws", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["axes"]["heteros"] == ["trunk:ws"]
+        het_rows = [r for r in payload["rows"] if "hetero" in r]
+        assert het_rows and all(
+            0 < r["trunk_utilization"] <= 1 for r in het_rows)
+
     def test_topology_axis_reaches_rows(self, capsys):
         assert main(["sweep", "--topologies", "mesh,torus", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)

@@ -155,6 +155,79 @@ class TestPlanStore:
         assert PlanStore(tmp_path / "store").load() == entries
 
 
+class TestHeteroStoreIsolation:
+    """Hetero rows get their own shards, warm-start cleanly, and never
+    disturb (or get served from) homogeneous/mesh shards."""
+
+    @staticmethod
+    def _cold():
+        from repro.core import clear_plan_cache
+        from repro.cost import clear_cache
+        from repro.sweep import clear_trunk_memo
+        clear_cache()
+        clear_plan_cache()
+        clear_trunk_memo()
+
+    def test_hetero_worker_sweep_warm_starts_and_isolates(self, tmp_path):
+        from repro.sweep import Scenario, ScenarioSweep, scenario_grid
+        store = tmp_path / "store"
+
+        # Seed the store with a homogeneous sweep and snapshot its shards.
+        self._cold()
+        homog = ScenarioSweep([Scenario(tolerance=1.0)],
+                              store_path=store).run()
+        assert homog.cache_stats.misses > 0
+        baseline = {p.name: p.read_bytes()
+                    for p in store.glob("plans-*.json")}
+        assert baseline
+
+        # A hetero grid across worker processes is a full miss against
+        # the homogeneous shards: no entry may be served across the
+        # context boundary.
+        grid = scenario_grid(tolerances=(1.0,),
+                             heteros=("trunk:ws", "trunk:ws@1"))
+        self._cold()
+        first = ScenarioSweep(grid, workers=2, store_path=store).run()
+        assert first.cache_stats.misses > 0
+        assert first.cache_stats.store_hits == 0
+
+        # Warm restart (fresh caches, same store): 0 misses, every
+        # first-touch lookup served from disk, rows byte-identical.
+        self._cold()
+        second = ScenarioSweep(grid, workers=2, store_path=store).run()
+        assert second.cache_stats.misses == 0
+        assert second.cache_stats.store_hits > 0
+        assert second.rows_json() == first.rows_json()
+
+        # The homogeneous shards are untouched — hetero flushes add new
+        # shards, they never rewrite foreign ones.
+        for name, data in baseline.items():
+            assert (store / name).read_bytes() == data
+        assert len(list(store.glob("plans-*.json"))) > len(baseline)
+
+        # ... and the homogeneous scenario still warm-starts from its
+        # own shards (the hetero rows did not pollute them).
+        self._cold()
+        rerun = ScenarioSweep([Scenario(tolerance=1.0)],
+                              store_path=store).run()
+        assert rerun.cache_stats.misses == 0
+        assert rerun.rows_json() == homog.rows_json()
+
+    def test_hetero_never_shares_with_mesh_topology_shards(self, tmp_path):
+        from repro.sweep import Scenario, ScenarioSweep
+        store = tmp_path / "store"
+        self._cold()
+        ScenarioSweep([Scenario(tolerance=1.0, topology="torus")],
+                      store_path=store).run()
+        # A hetero scenario on the same grid geometry must not be served
+        # from torus shards (contexts differ), nor vice versa.
+        self._cold()
+        het = ScenarioSweep([Scenario(tolerance=1.0, hetero="trunk:ws")],
+                            store_path=store).run()
+        assert het.cache_stats.misses > 0
+        assert het.cache_stats.store_hits == 0
+
+
 class TestCacheStoreLayering:
     def test_store_hit_skips_compute(self, tmp_path, groups, os_accel):
         g = groups[0]

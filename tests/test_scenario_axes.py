@@ -26,6 +26,8 @@ from repro.sweep import (
 )
 
 FIXTURE = pathlib.Path(__file__).parent / "data" / "frozen_scenario_keys.json"
+HETERO_FIXTURE = (pathlib.Path(__file__).parent / "data"
+                  / "frozen_hetero_axis.json")
 
 
 class TestKeyByteStability:
@@ -225,6 +227,104 @@ class TestAxisParsing:
         import dataclasses
         fields = {f.name for f in dataclasses.fields(Scenario)}
         assert set(AXIS_SPECS) == fields
+
+
+class TestHeteroAxis:
+    """The per-quadrant hetero axis (frozen-key regression + behavior)."""
+
+    def test_unset_hetero_is_byte_identical_to_frozen_fixture(self):
+        # With hetero unset, the scenario key, the full row payload, and
+        # the plan-store content hashes must match the committed PR 4
+        # fixture byte for byte.
+        fixture = json.loads(HETERO_FIXTURE.read_text())
+        scenario = Scenario(tolerance=1.0)
+        assert scenario.key == fixture["scenario_key"]
+        row = run_scenario(scenario)
+        assert json.dumps(row, sort_keys=True) == \
+            json.dumps(fixture["row"], sort_keys=True)
+
+        from repro.core.plancache import MODE_BEST
+        from repro.core.planstore import plan_key_hash
+        from repro.cost import simba_chiplet
+        from repro.workloads import build_perception_workload
+        wl = build_perception_workload()
+        accel = simba_chiplet("os")
+        for label, frozen in fixture["plan_key_hashes"].items():
+            name, n = label.split("@")
+            assert plan_key_hash(wl.find_group(name), int(n), accel,
+                                 MODE_BEST) == frozen
+
+    def test_any_set_override_changes_the_content_hash(self):
+        from repro.core.plancache import MODE_BEST
+        from repro.core.planstore import plan_key_hash
+        from repro.cost import simba_chiplet
+        from repro.workloads import build_perception_workload
+        fixture = json.loads(HETERO_FIXTURE.read_text())
+        group = build_perception_workload().find_group("S_FFN")
+        accel = simba_chiplet("os")
+        base = fixture["plan_key_hashes"]["S_FFN@2"]
+        for hetero in ("trunk:ws", "trunk:os@2", "fe:/8x8"):
+            ctx = Scenario(hetero=hetero).plan_context
+            assert ctx is not None
+            assert plan_key_hash(group, 2, accel, MODE_BEST, ctx) != base
+
+    def test_hetero_absent_from_default_key_and_row(self):
+        assert "hetero" not in Scenario().key
+        assert "hetero" not in run_scenario(Scenario(tolerance=1.0))
+
+    def test_hetero_key_fragment_and_canonicalization(self):
+        s = Scenario(hetero="trunk:WS@1.20 + fe:os")
+        assert s.hetero == "fe:os+trunk:ws@1.2"
+        assert s.key.endswith("|hetero=fe:os+trunk:ws@1.2")
+        assert s.key.startswith(Scenario().key)
+        assert s.to_dict()["hetero"] == "fe:os+trunk:ws@1.2"
+
+    def test_bad_hetero_token_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown dataflow"):
+            Scenario(hetero="trunk:xx")
+        with pytest.raises(ValueError, match="unknown quadrant"):
+            Scenario(hetero="bogus:ws")
+
+    def test_plan_context_composes_topology_and_hetero(self):
+        assert Scenario().plan_context is None
+        assert Scenario(topology="torus").plan_context == "torus"
+        assert Scenario(hetero="trunk:ws").plan_context == "het:trunk:ws"
+        assert Scenario(topology="torus", hetero="trunk:ws").plan_context \
+            == "torus|het:trunk:ws"
+        # an explicit mesh stays in the seed context class
+        assert Scenario(topology="mesh").plan_context is None
+        assert Scenario(topology="mesh", hetero="trunk:ws").plan_context \
+            == "het:trunk:ws"
+
+    def test_build_materializes_the_mixed_package(self):
+        built = Scenario(hetero="trunk:ws@1.2",
+                         frequency_ghz=1.0).build()
+        trunk = built.package.quadrant(3)
+        assert all(c.dataflow == "ws" and c.accel.frequency_hz == 1.2e9
+                   for c in trunk)
+        # the quadrant override layers on the package-wide axis
+        assert all(c.dataflow == "os" and c.accel.frequency_hz == 1.0e9
+                   for c in built.package.quadrant(0))
+
+    def test_hetero_rows_carry_composition_and_utilization(self):
+        row = run_scenario(Scenario(tolerance=1.0, hetero="trunk:ws"))
+        assert row["hetero"] == "trunk:ws"
+        assert row["package_composition"].endswith("trunk:ws@2")
+        util = row["stage_utilization"]
+        assert set(util) == {"FE_BFPN", "S_FUSE", "T_FUSE", "TRUNKS"}
+        assert all(0 < u <= 1 for u in util.values())
+
+    def test_trunk_hw_prefers_the_quadrant_override(self):
+        s = Scenario(frequency_ghz=1.0, hetero="trunk:ws@1.5/8x8")
+        assert s.trunk_hw() == (1.5, (8, 8))
+        assert Scenario(frequency_ghz=1.0).trunk_hw() == (1.0, None)
+        assert Scenario(hetero="fe:ws").trunk_hw() == (None, None)
+
+    def test_grid_expands_hetero_innermost(self):
+        grid = scenario_grid(tolerances=(1.0, 1.05),
+                             heteros=(None, "trunk:ws"))
+        assert [s.hetero for s in grid] == [None, "trunk:ws"] * 2
+        assert len({s.key for s in grid}) == 4
 
 
 class TestPlanStoreKeyingAcrossAxes:

@@ -10,7 +10,14 @@ the accounting identities between plans and the busy map are preserved.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.arch import simba_package
+from repro.arch import (
+    QUADRANT_NAMES,
+    DramBudget,
+    QuadrantOverride,
+    QuadrantOverrides,
+    simba_package,
+    transfer_cost,
+)
 from repro.core import ThroughputMatcher
 from repro.workloads import dense
 from repro.workloads.graph import LayerGroup, PerceptionWorkload, Stage
@@ -110,3 +117,91 @@ class TestMatcherInvariants:
         assert schedule.e2e_latency_s >= schedule.pipe_latency_s - 1e-12
         assert schedule.energy_j > 0
         assert 0 < schedule.utilization <= 1
+
+
+@st.composite
+def quadrant_override_specs(draw):
+    """A random per-quadrant override spec (>= 1 quadrant touched)."""
+    names = draw(st.sets(st.sampled_from(QUADRANT_NAMES),
+                         min_size=1, max_size=len(QUADRANT_NAMES)))
+    overrides = []
+    for name in sorted(names, key=QUADRANT_NAMES.index):
+        dataflow = draw(st.sampled_from([None, "os", "ws", "rs"]))
+        ghz = draw(st.sampled_from([None, 0.5, 1.0, 1.6, 2.0]))
+        tile = draw(st.sampled_from([None, (8, 8), (16, 16)]))
+        if dataflow is None and ghz is None and tile is None:
+            dataflow = "ws"
+        overrides.append((name, QuadrantOverride(
+            dataflow=dataflow, frequency_ghz=ghz, native_tile=tile)))
+    return QuadrantOverrides(tuple(overrides))
+
+
+class TestHeterogeneousPackageInvariants:
+    """Scheduler invariants under randomized quadrant overrides.
+
+    The PR 1 heterogeneous-utilization fix (each chiplet contributes
+    PE-cycles at its *own* clock) and the per-instance hand-off energy
+    accounting had no hetero-axis coverage: every prior property test
+    ran on a homogeneous package.  These drive Algorithm 1 over random
+    mixed-chiplet packages — random dataflows, clocks, and tiles per
+    quadrant — with and without a DRAM budget attached.
+    """
+
+    @given(workload=small_workloads(), spec=quadrant_override_specs(),
+           dram_gbps=st.sampled_from([None, 2.0, 50.0]))
+    @settings(max_examples=25, deadline=None)
+    def test_hetero_schedule_invariants(self, workload, spec, dram_gbps):
+        package = spec.apply(simba_package())
+        dram = (DramBudget(bandwidth_bytes_per_s=dram_gbps * 1e9)
+                if dram_gbps is not None else None)
+        dram_bytes = 50_000_000 if dram is not None else 0
+        schedule = ThroughputMatcher(
+            workload, package,
+            dram=dram, dram_bytes_per_frame=dram_bytes,
+            plan_context=f"het:{spec.token}").run()
+
+        # 1. Energy stays additive: the total is exactly the sum of its
+        #    per-group compute, NoP, and DRAM components...
+        component_sum = (schedule.compute_energy_j + schedule.nop_energy_j
+                         + schedule.dram_energy_j)
+        assert schedule.energy_j == component_sum
+        plan_sum = sum(gs.plan.energy_j for gs in schedule.groups.values())
+        assert abs(schedule.compute_energy_j - plan_sum) <= 1e-12 * max(
+            1.0, plan_sum)
+        # ... and pipeline hand-off energy scales with the instance
+        # count (the PR 1 fix: latency is per instance, energy is not).
+        for edge in schedule.nop_edges():
+            if edge.src_group != edge.dst_group:
+                continue
+            group = workload.find_group(edge.src_group)
+            segments = schedule.groups[edge.src_group].plan.segments
+            per_hop = transfer_cost(group.output_bytes_per_instance, 1,
+                                    package.nop)
+            expected = per_hop.energy_j * (segments - 1) * group.instances
+            assert edge.energy_j == expected
+
+        # 2. The steady-state pipe is never faster than either resource:
+        #    the busiest chiplet or the per-frame DRAM stream.
+        assert schedule.pipe_latency_s >= \
+            schedule.compute_pipe_latency_s - 1e-15
+        assert schedule.pipe_latency_s >= schedule.dram_time_s - 1e-15
+        assert schedule.pipe_latency_s == max(
+            schedule.compute_pipe_latency_s, schedule.dram_time_s)
+
+        # 3. Per-chiplet-frequency utilization stays a fraction: each
+        #    chiplet's PE-cycles are priced at its own clock, so mixed
+        #    frequencies must never push utilization outside (0, 1] —
+        #    package-wide and per stage quadrant alike.
+        assert 0 < schedule.utilization <= 1
+        for util in schedule.stage_utilization().values():
+            assert 0 < util <= 1
+
+    @given(spec=quadrant_override_specs())
+    @settings(max_examples=10, deadline=None)
+    def test_noop_and_real_overrides_key_disjoint_contexts(self, spec):
+        # Any hetero spec (even one spelling out the defaults) scopes
+        # its plans away from the homogeneous context.
+        from repro.sweep import Scenario
+        scenario = Scenario(hetero=spec.token)
+        assert scenario.plan_context == f"het:{scenario.hetero}"
+        assert scenario.plan_context != Scenario().plan_context
