@@ -52,7 +52,7 @@ def component_breakdown(workload: PerceptionWorkload,
             lat += chain_latency_s(group.layers, accel) * mult
             energy += chain_energy_j(group.layers, accel) * mult
         raw.append((label, lat, energy))
-    total_lat = sum(l for _, l, _ in raw)
+    total_lat = sum(lat for _, lat, _ in raw)
     total_energy = sum(e for _, _, e in raw)
     return [
         ComponentCost(label, lat * 1e3, energy * 1e3,

@@ -17,6 +17,8 @@ LPDDR can deliver them.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from ..arch import simba_package
 from ..core.throughput import match_throughput
 from ..workloads.pipeline import PipelineConfig, build_perception_workload
@@ -163,7 +165,8 @@ def _run(config: PipelineConfig, npus: int = 1) -> dict:
     }
 
 
-def resolution_sweep(resolutions=RESOLUTIONS) -> list[dict]:
+def resolution_sweep(resolutions: Sequence[tuple[int, int]]
+                     = RESOLUTIONS) -> list[dict]:
     """Camera resolution drives the FE stage and thus Lat_base."""
     rows = []
     for hw in resolutions:
@@ -173,7 +176,7 @@ def resolution_sweep(resolutions=RESOLUTIONS) -> list[dict]:
     return rows
 
 
-def camera_sweep(counts=CAMERA_COUNTS) -> list[dict]:
+def camera_sweep(counts: Sequence[int] = CAMERA_COUNTS) -> list[dict]:
     """Camera count scales the concurrent FE models and the fusion K/V."""
     rows = []
     for cams in counts:
@@ -182,7 +185,8 @@ def camera_sweep(counts=CAMERA_COUNTS) -> list[dict]:
     return rows
 
 
-def frame_queue_sweep(queues=FRAME_QUEUES) -> list[dict]:
+def frame_queue_sweep(queues: Sequence[int]
+                      = FRAME_QUEUES) -> list[dict]:
     """Temporal queue depth scales T_FUSE, the paper's dominant stage."""
     rows = []
     for frames in queues:

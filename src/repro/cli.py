@@ -39,6 +39,14 @@ scaling table/figure::
 
     chiplet-npu report scaling --npus 1,2,4 --dram-gbps none,6,2
     chiplet-npu report scaling --json --output results/scaling_report.json
+
+``lint`` runs repro-lint, the repo's determinism-contract static
+analysis (rules R1-R5, see ``docs/LINT.md``), over the ``src/repro``
+tree (or explicit files) and exits non-zero on any finding::
+
+    chiplet-npu lint
+    chiplet-npu lint --json --output results/replint.json
+    chiplet-npu lint --list-rules
 """
 
 from __future__ import annotations
@@ -339,6 +347,11 @@ def main(argv: list[str] | None = None) -> int:
         # `report scaling` is its own artifact generator (the markdown
         # report keeps its `report` form; scaling flags follow).
         return _run_scaling_report(argv[2:])
+    if argv and argv[0] == "lint":
+        # Same pre-dispatch as `sweep`, for the same reason: lint flags
+        # (and file arguments) belong to the lint parser.
+        from .devtools.runner import main as lint_main
+        return lint_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="chiplet-npu",
@@ -346,10 +359,13 @@ def main(argv: list[str] | None = None) -> int:
                     "(DATE 2025).")
     parser.add_argument(
         "experiment",
-        choices=sorted(ALL_EXPERIMENTS) + ["all", "report", "sweep"],
+        choices=sorted(ALL_EXPERIMENTS) + ["all", "lint", "report",
+                                           "sweep"],
         help="paper artifact to regenerate ('report' writes a full "
              "markdown reproduction report; 'sweep' runs a scenario "
-             "grid, see 'chiplet-npu sweep --help')")
+             "grid, see 'chiplet-npu sweep --help'; 'lint' runs the "
+             "repro-lint static analysis, see 'chiplet-npu lint "
+             "--help')")
     parser.add_argument(
         "--json", action="store_true",
         help="emit structured JSON instead of tables")
@@ -372,6 +388,13 @@ def main(argv: list[str] | None = None) -> int:
         if args.output:
             extra += ["--output", args.output]
         return _run_scaling_report(extra + rest[1:])
+    if args.experiment == "lint":
+        # Shared flags before the subcommand (--json lint).
+        from .devtools.runner import main as lint_main
+        extra = ["--json"] if args.json else []
+        if args.output:
+            extra += ["--output", args.output]
+        return lint_main(extra + rest)
     if rest:
         parser.error(f"unrecognized arguments: {' '.join(rest)}")
 

@@ -213,8 +213,11 @@ class PlanStore:
         shard = self.path / f"{_SHARD_PREFIX}{digest}{_SHARD_SUFFIX}"
         if shard.exists():
             return shard  # identical content already persisted
-        tmp = self.path / (
-            f".{_SHARD_PREFIX}{digest}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
+        # PID + UUID only name the *temp* file (uniqueness under
+        # concurrent flushes); the shard name and content stay pure
+        # functions of the entries.
+        unique = f"{os.getpid()}.{uuid.uuid4().hex}"  # repro-lint: disable=R1
+        tmp = self.path / f".{_SHARD_PREFIX}{digest}.{unique}.tmp"
         tmp.write_text(text)
         os.replace(tmp, shard)
         return shard

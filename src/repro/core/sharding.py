@@ -77,7 +77,8 @@ def split_plane(layer: Layer, n: int, index: int) -> Layer:
 def max_row_shards(group: LayerGroup) -> int:
     """Largest legal row-shard factor (bounded by the narrowest layer)."""
     return min(
-        l.out_h if l.out_h > 1 else l.out_w for l in group.layers)
+        layer.out_h if layer.out_h > 1 else layer.out_w
+        for layer in group.layers)
 
 
 def _balanced_segments(latencies: list[float], k: int) -> list[int]:
@@ -219,7 +220,7 @@ def _plan_pipeline(group: LayerGroup, n: int,
     k = n // group.instances
     if k < 2 or k > len(group.layers):
         return None
-    lats = [evaluate(l, accel).latency_s for l in group.layers]
+    lats = [evaluate(layer, accel).latency_s for layer in group.layers]
     bounds = _balanced_segments(lats, k)
     seg_lat = []
     for si, start in enumerate(bounds):

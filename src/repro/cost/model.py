@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
+from typing import Iterable
 
 from ..workloads.layers import Layer
 from .accelerator import AcceleratorConfig
@@ -119,19 +120,22 @@ def _evaluate_vector(layer: Layer, accel: AcceleratorConfig) -> LayerCost:
 # Aggregates used throughout the scheduler and simulator
 # ----------------------------------------------------------------------
 
-def chain_latency_s(layers, accel: AcceleratorConfig) -> float:
+def chain_latency_s(layers: Iterable[Layer],
+                    accel: AcceleratorConfig) -> float:
     """Serial latency of a layer chain on one engine."""
-    return sum(evaluate(l, accel).latency_s for l in layers)
+    return sum(evaluate(layer, accel).latency_s for layer in layers)
 
 
-def chain_energy_j(layers, accel: AcceleratorConfig) -> float:
+def chain_energy_j(layers: Iterable[Layer],
+                   accel: AcceleratorConfig) -> float:
     """Total energy of a layer chain on one engine."""
-    return sum(evaluate(l, accel).energy_j for l in layers)
+    return sum(evaluate(layer, accel).energy_j for layer in layers)
 
 
-def chain_cycles(layers, accel: AcceleratorConfig) -> int:
+def chain_cycles(layers: Iterable[Layer],
+                 accel: AcceleratorConfig) -> int:
     """Serial cycle count of a layer chain on one engine."""
-    return sum(evaluate(l, accel).cycles for l in layers)
+    return sum(evaluate(layer, accel).cycles for layer in layers)
 
 
 def clear_cache() -> None:

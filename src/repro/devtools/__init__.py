@@ -1,0 +1,40 @@
+"""repro-lint: the repo's determinism-contract static-analysis pass.
+
+Five rules encode the invariants every artifact in this reproduction
+rides on (see ``docs/LINT.md``):
+
+- **R1 determinism** — no wall-clock/entropy calls or unordered-set
+  iteration in the packages that produce rows, keys, or artifacts;
+- **R2 plan-key hygiene** — ``hashlib`` stays inside the plan store;
+- **R3 axis coherence** — every Scenario axis threads through
+  ``AXIS_SPECS``, ``key``/``to_dict``, the CLI flags, and the docs;
+- **R4 gated columns** — unfrozen row keys sit behind axis guards;
+- **R5 units naming** — numeric fields carry unit suffixes.
+
+Run it as ``chiplet-npu lint`` or ``python -m repro.devtools.runner``;
+silence a deliberate violation with ``# repro-lint: disable=RULE``.
+"""
+
+from .axes import check_axis_coherence
+from .diagnostics import Diagnostic, Suppressions, scan_pragmas
+from .runner import (
+    RULES,
+    find_repo_root,
+    lint_file,
+    load_frozen_columns,
+    main,
+    run_lint,
+)
+
+__all__ = [
+    "Diagnostic",
+    "RULES",
+    "Suppressions",
+    "check_axis_coherence",
+    "find_repo_root",
+    "lint_file",
+    "load_frozen_columns",
+    "main",
+    "run_lint",
+    "scan_pragmas",
+]

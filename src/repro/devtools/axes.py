@@ -1,0 +1,236 @@
+"""R3: axis coherence across the Scenario dataclass, AXIS_SPECS, the
+key-fragment builder, the CLI flags, and the docs/SWEEP.md axis table.
+
+PR 3-5 each added sweep axes by hand-threading the same name through
+five places; this check makes the convention mechanical.  It is a pure
+function of the three source texts so the self-test suite can prove it
+fires by doctoring them (e.g. deleting an ``AXIS_SPECS`` entry) without
+touching the real tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from .diagnostics import Diagnostic
+
+#: default locations of the three coherence surfaces, relative to root.
+SCENARIO_PATH = "src/repro/sweep/scenario.py"
+CLI_PATH = "src/repro/cli.py"
+DOCS_PATH = "docs/SWEEP.md"
+
+#: first backticked token of a docs axis-table row: ``| `--flag` | ...``
+_DOCS_ROW_RE = re.compile(r"^\|\s*`(--[a-z0-9-]+)`")
+
+
+def _scenario_surfaces(tree: ast.AST) -> dict:
+    """Field names, AXIS_SPECS keys, and self.<field> refs in key/to_dict."""
+    out: dict = {"fields": {}, "axis_specs": {}, "axis_specs_line": None,
+                 "key_refs": set(), "key_line": None,
+                 "to_dict_refs": set(), "to_dict_line": None}
+    for node in getattr(tree, "body", []):
+        if isinstance(node, ast.ClassDef) and node.name == "Scenario":
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) \
+                        and isinstance(stmt.target, ast.Name):
+                    out["fields"][stmt.target.id] = stmt.lineno
+                elif isinstance(stmt, ast.FunctionDef) \
+                        and stmt.name in ("key", "to_dict"):
+                    refs = {sub.attr for sub in ast.walk(stmt)
+                            if isinstance(sub, ast.Attribute)
+                            and isinstance(sub.value, ast.Name)
+                            and sub.value.id == "self"}
+                    slot = "key" if stmt.name == "key" else "to_dict"
+                    out[f"{slot}_refs"] = refs
+                    out[f"{slot}_line"] = stmt.lineno
+        else:
+            # Both spellings: `AXIS_SPECS = {...}` and the annotated
+            # `AXIS_SPECS: dict[str, AxisSpec] = {...}`.
+            target = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+            elif isinstance(node, ast.AnnAssign):
+                target = node.target
+            if isinstance(target, ast.Name) \
+                    and target.id == "AXIS_SPECS" \
+                    and isinstance(node.value, ast.Dict):
+                out["axis_specs_line"] = node.lineno
+                for key in node.value.keys:
+                    if isinstance(key, ast.Constant):
+                        out["axis_specs"][key.value] = key.lineno
+    return out
+
+
+def _parser_flags(tree: ast.AST, func_name: str) -> dict:
+    """``dest -> (flag, line)`` for every --flag in one parser builder."""
+    flags: dict = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == func_name:
+            for call in ast.walk(node):
+                if isinstance(call, ast.Call) \
+                        and isinstance(call.func, ast.Attribute) \
+                        and call.func.attr == "add_argument" \
+                        and call.args \
+                        and isinstance(call.args[0], ast.Constant) \
+                        and str(call.args[0].value).startswith("--"):
+                    flag = call.args[0].value
+                    dest = flag[2:].replace("-", "_")
+                    flags[dest] = (flag, call.lineno)
+    return flags
+
+
+def _axis_text_dicts(tree: ast.AST, func_name: str,
+                     var_name: str | None = None) -> tuple:
+    """``axis -> (args dest, line)`` from an axis-texts dict literal.
+
+    Matches either ``<var_name> = {...}`` inside ``func_name`` (the
+    ``_grid_kwargs`` shape) or the dict argument of a
+    ``parse_grid_axes({...})`` call (the scaling-report shape).
+    Values must be ``args.<dest>`` attributes.
+    """
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.FunctionDef)
+                and node.name == func_name):
+            continue
+        for sub in ast.walk(node):
+            found = None
+            if var_name is not None and isinstance(sub, ast.Assign) \
+                    and len(sub.targets) == 1 \
+                    and isinstance(sub.targets[0], ast.Name) \
+                    and sub.targets[0].id == var_name \
+                    and isinstance(sub.value, ast.Dict):
+                found = sub.value
+            elif var_name is None and isinstance(sub, ast.Call) \
+                    and isinstance(sub.func, ast.Name) \
+                    and sub.func.id == "parse_grid_axes" \
+                    and sub.args and isinstance(sub.args[0], ast.Dict):
+                found = sub.args[0]
+            if found is not None:
+                axes: dict = {}
+                for key, value in zip(found.keys, found.values):
+                    if isinstance(key, ast.Constant) \
+                            and isinstance(value, ast.Attribute) \
+                            and isinstance(value.value, ast.Name) \
+                            and value.value.id == "args":
+                        axes[key.value] = (value.attr, key.lineno)
+                return axes, node.lineno
+        return {}, node.lineno
+    return {}, 1
+
+
+def _docs_flags(docs_text: str) -> dict:
+    """``--flag -> line`` from the docs/SWEEP.md axis table."""
+    flags: dict = {}
+    for lineno, line in enumerate(docs_text.splitlines(), start=1):
+        match = _DOCS_ROW_RE.match(line.strip())
+        if match:
+            flags[match.group(1)] = lineno
+    return flags
+
+
+def check_axis_coherence(scenario_src: str, cli_src: str, docs_text: str,
+                         scenario_path: str = SCENARIO_PATH,
+                         cli_path: str = CLI_PATH,
+                         docs_path: str = DOCS_PATH) -> list:
+    """Cross-check every Scenario axis through all five surfaces.
+
+    Returns one R3 diagnostic per missing or stale link: Scenario field
+    <-> AXIS_SPECS <-> key/to_dict fragments <-> CLI sweep flags (and the
+    scaling-report subset) <-> the docs axis table.
+    """
+    diags: list = []
+
+    def diag(path: str, line: int, message: str) -> None:
+        diags.append(Diagnostic("R3", path, line, 0, message))
+
+    try:
+        scenario_tree = ast.parse(scenario_src)
+        cli_tree = ast.parse(cli_src)
+    except SyntaxError as exc:
+        diag(scenario_path, exc.lineno or 1,
+             f"cannot parse coherence surfaces: {exc.msg}")
+        return diags
+
+    sc = _scenario_surfaces(scenario_tree)
+    fields, specs = sc["fields"], sc["axis_specs"]
+    if not fields:
+        diag(scenario_path, 1, "Scenario dataclass not found")
+        return diags
+    if sc["axis_specs_line"] is None:
+        diag(scenario_path, 1, "AXIS_SPECS dict not found")
+        return diags
+
+    # Scenario fields <-> AXIS_SPECS, both directions.
+    for name, line in fields.items():
+        if name not in specs:
+            diag(scenario_path, line,
+                 f"Scenario axis {name!r} has no AXIS_SPECS entry")
+    for name, line in specs.items():
+        if name not in fields:
+            diag(scenario_path, line,
+                 f"AXIS_SPECS entry {name!r} is not a Scenario field")
+
+    # Every axis must contribute to the key fragment and the row payload.
+    for name, line in fields.items():
+        if name not in sc["key_refs"]:
+            diag(scenario_path, sc["key_line"] or line,
+                 f"Scenario axis {name!r} never referenced in the "
+                 f"Scenario.key fragment builder")
+        if name not in sc["to_dict_refs"]:
+            diag(scenario_path, sc["to_dict_line"] or line,
+                 f"Scenario axis {name!r} never referenced in "
+                 f"Scenario.to_dict()")
+
+    # CLI: the sweep axis-texts dict covers every axis, and each dest
+    # resolves to a real --flag of the sweep parser.
+    sweep_axes, grid_line = _axis_text_dicts(cli_tree, "_grid_kwargs",
+                                             "axis_texts")
+    sweep_flags = _parser_flags(cli_tree, "_sweep_parser")
+    if not sweep_axes:
+        diag(cli_path, grid_line, "_grid_kwargs axis_texts dict not found")
+    for name in specs:
+        if sweep_axes and name not in sweep_axes:
+            diag(cli_path, grid_line,
+                 f"axis {name!r} missing from the _grid_kwargs "
+                 f"axis_texts dict (unreachable from the sweep CLI)")
+    for name, (dest, line) in sweep_axes.items():
+        if name not in specs:
+            diag(cli_path, line,
+                 f"axis_texts key {name!r} has no AXIS_SPECS entry")
+        if dest not in sweep_flags:
+            diag(cli_path, line,
+                 f"axis {name!r} maps to args.{dest} but _sweep_parser "
+                 f"defines no --{dest.replace('_', '-')} flag")
+
+    # The scaling report parses a subset of the same axes.
+    report_axes, report_line = _axis_text_dicts(
+        cli_tree, "_run_scaling_report")
+    report_flags = _parser_flags(cli_tree, "_scaling_parser")
+    for name, (dest, line) in report_axes.items():
+        if name not in specs:
+            diag(cli_path, line,
+                 f"scaling-report axis {name!r} has no AXIS_SPECS entry")
+        if dest not in report_flags:
+            diag(cli_path, line,
+                 f"scaling-report axis {name!r} maps to args.{dest} but "
+                 f"_scaling_parser defines no matching flag")
+
+    # Docs: every sweep axis appears in the SWEEP.md axis table, and the
+    # table carries no stale flags.
+    docs = _docs_flags(docs_text)
+    if not docs:
+        diag(docs_path, 1, "no axis table rows found (| `--flag` | ...)")
+    for name, (dest, _) in sweep_axes.items():
+        flag = sweep_flags.get(dest, (None, None))[0]
+        if docs and flag is not None and flag not in docs:
+            diag(docs_path, min(docs.values()),
+                 f"axis {name!r} ({flag}) missing from the docs axis "
+                 f"table")
+    known_flags = {flag for flag, _ in sweep_flags.values()}
+    for flag, line in docs.items():
+        if flag not in known_flags:
+            diag(docs_path, line,
+                 f"docs axis table lists {flag} but _sweep_parser "
+                 f"defines no such flag")
+    return diags

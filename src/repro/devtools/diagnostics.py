@@ -1,0 +1,94 @@
+"""Diagnostic records and suppression pragmas for repro-lint.
+
+A :class:`Diagnostic` is one finding: a stable rule ID, a file position,
+and a message.  Findings can be silenced at the offending line with an
+end-of-line pragma::
+
+    tmp = f".{prefix}.{uuid.uuid4().hex}.tmp"  # repro-lint: disable=R1
+
+or for a whole file (anywhere in the file, conventionally at the top)::
+
+    # repro-lint: disable-file=R1,R5
+
+Pragmas are read from real COMMENT tokens (via :mod:`tokenize`), so a
+pragma-shaped string literal never disables anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+#: ``disable`` scopes one source line; ``disable-file`` scopes the file.
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable(?:-file)?)\s*=\s*"
+    r"([A-Z][A-Z0-9]*(?:\s*,\s*[A-Z][A-Z0-9]*)*)")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One repro-lint finding at a file position."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def format(self) -> str:
+        """``path:line:col: RULE message`` — the CI/editor-friendly form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} " \
+               f"{self.message}"
+
+    def to_dict(self) -> dict:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+
+@dataclass(frozen=True)
+class Suppressions:
+    """Pragma-disabled rules for one source file."""
+
+    #: rules disabled for the entire file
+    file_rules: frozenset = frozenset()
+    #: line -> rules disabled on that line
+    line_rules: dict = field(default_factory=dict)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if rule in self.file_rules:
+            return True
+        return rule in self.line_rules.get(line, ())
+
+
+def scan_pragmas(src: str) -> Suppressions:
+    """Extract ``# repro-lint: disable[-file]=...`` pragmas from source.
+
+    Only genuine comment tokens count; unreadable source yields an empty
+    suppression set (the caller will have failed to parse it anyway).
+    """
+    file_rules: set = set()
+    line_rules: dict = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(src).readline)
+        comments = [(tok.start[0], tok.string) for tok in tokens
+                    if tok.type == tokenize.COMMENT]
+    except (tokenize.TokenizeError, SyntaxError, IndentationError):
+        return Suppressions()
+    for line, text in comments:
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = {tok.strip() for tok in match.group(2).split(",")}
+        if match.group(1) == "disable-file":
+            file_rules |= rules
+        else:
+            line_rules.setdefault(line, set()).update(rules)
+    return Suppressions(
+        file_rules=frozenset(file_rules),
+        line_rules={ln: frozenset(rs) for ln, rs in line_rules.items()})

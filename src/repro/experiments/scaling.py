@@ -27,6 +27,7 @@ PR 3 report.  See docs/TOPOLOGY.md and docs/HETERO.md.
 from __future__ import annotations
 
 import pathlib
+from typing import Sequence
 
 from ..analysis.scaling import chiplet_scaling_report
 from ..sim.metrics import format_table
@@ -46,11 +47,11 @@ DEFAULT_TOPOLOGIES = (None,)
 DEFAULT_HETEROS = (None,)
 
 
-def run(npus=DEFAULT_NPUS,
-        dram_gbps=DEFAULT_DRAM_GBPS,
-        workloads=DEFAULT_WORKLOADS,
-        topologies=DEFAULT_TOPOLOGIES,
-        heteros=DEFAULT_HETEROS,
+def run(npus: Sequence[int] = DEFAULT_NPUS,
+        dram_gbps: Sequence[float | None] = DEFAULT_DRAM_GBPS,
+        workloads: Sequence[str] = DEFAULT_WORKLOADS,
+        topologies: Sequence[str | None] = DEFAULT_TOPOLOGIES,
+        heteros: Sequence[str | None] = DEFAULT_HETEROS,
         workers: int = 1,
         store_path: str | pathlib.Path | None = None) -> dict:
     """Run the scaling grid and build the report document."""

@@ -24,7 +24,7 @@ def run() -> dict:
     for stages in FACTORS:
         layers = build_occupancy_layers(upsample_stages=stages)
         e2e = chain_latency_s(layers, accel) * 1e3
-        pipe = max(evaluate(l, accel).latency_s for l in layers) * 1e3
+        pipe = max(evaluate(layer, accel).latency_s for layer in layers) * 1e3
         if base_e2e is None:
             base_e2e, base_pipe = e2e, pipe
         rows.append({
@@ -35,7 +35,7 @@ def run() -> dict:
             "pipe_ratio": round(pipe / base_pipe, 2),
         })
     full = build_occupancy_layers(upsample_stages=4)
-    costs = [evaluate(l, accel).latency_s for l in full]
+    costs = [evaluate(layer, accel).latency_s for layer in full]
     last_deconv = costs[-2]  # final deconv sits before the semantic head
     return {
         "rows": rows,

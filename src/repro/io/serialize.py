@@ -11,12 +11,16 @@ from __future__ import annotations
 import dataclasses
 import json
 import pathlib
+from typing import TYPE_CHECKING
 
 from ..core.schedule import Schedule
 from ..core.sharding import GroupPlan
 from ..cost import AcceleratorConfig
 from ..workloads.graph import LayerGroup, PerceptionWorkload
 from ..workloads.layers import Layer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from ..sweep.runner import SweepResult
 
 
 def layer_to_dict(layer: Layer) -> dict:
@@ -49,7 +53,7 @@ def group_to_dict(group: LayerGroup) -> dict:
         "row_shardable": group.row_shardable,
         "pipeline_splittable": group.pipeline_splittable,
         "total_macs": group.total_macs,
-        "layers": [layer_to_dict(l) for l in group.layers],
+        "layers": [layer_to_dict(layer) for layer in group.layers],
     }
 
 
@@ -173,7 +177,7 @@ def save_schedule(schedule: Schedule, path: str | pathlib.Path) -> None:
     pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
 
 
-def save_sweep(result, path: str | pathlib.Path) -> None:
+def save_sweep(result: "SweepResult", path: str | pathlib.Path) -> None:
     """Write a :class:`~repro.sweep.runner.SweepResult` as stable JSON.
 
     The ``rows`` list is the deterministic payload (identical between the

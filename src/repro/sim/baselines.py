@@ -51,7 +51,8 @@ class _Task:
         return (self.group.name, self.instance)
 
 
-def _build_tasks(workload: PerceptionWorkload):
+def _build_tasks(workload: PerceptionWorkload,
+                 ) -> tuple[list[_Task], dict[str, list[str]]]:
     """Tasks plus group-level dependency map (incl. stage chaining)."""
     tasks: list[_Task] = []
     deps: dict[str, list[str]] = {}

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.schedule import Schedule
+from ..core.schedule import GroupSchedule, Schedule
 from ..core.sharding import MODE_PIPELINE
 
 
@@ -84,7 +84,7 @@ class StreamSimulator:
                 for e in self.schedule.nop_edges()
                 if e.src_group != e.dst_group}
 
-    def _stage_links(self):
+    def _stage_links(self) -> dict[str, list[str]]:
         """(terminal, source) pairs across consecutive stages."""
         workload = self.schedule.workload
         links: dict[str, list[str]] = {}
@@ -177,7 +177,7 @@ class StreamSimulator:
             target_fps=self.target_fps,
         )
 
-    def _execute_group(self, name: str, gs, ready: float,
+    def _execute_group(self, name: str, gs: GroupSchedule, ready: float,
                        chiplet_free: dict, busy_total: dict) -> float:
         """Run one group for one frame; returns its finish time."""
         if gs.host is not None:

@@ -11,6 +11,7 @@ parallel instances, e.g. 8 cameras) organized into :class:`Stage` objects
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Callable
 
 from .layers import Layer, total_macs
 
@@ -128,7 +129,8 @@ class Stage:
             visit(g.name)
         return order
 
-    def critical_path(self, span_of) -> float:
+    def critical_path(self, span_of: Callable[[LayerGroup], float],
+                      ) -> float:
         """Longest path through the group DAG.
 
         ``span_of(group) -> float`` supplies each group's (possibly sharded)
@@ -164,7 +166,7 @@ class PerceptionWorkload:
         return [g for s in self.stages for g in s.groups]
 
     def all_layers(self) -> list[Layer]:
-        return [l for g in self.all_groups() for l in g.layers]
+        return [layer for g in self.all_groups() for layer in g.layers]
 
     @property
     def total_macs(self) -> int:

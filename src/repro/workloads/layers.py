@@ -23,6 +23,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field, replace
+from typing import Iterable
 
 #: fp16 operand width used throughout the cost model.
 BYTES_PER_WORD = 2
@@ -291,6 +292,6 @@ def move(name: str, out_hw: tuple[int, int], k: int, **tags) -> Layer:
     return Layer(name, LayerKind.MOVE, out_hw[0], out_hw[1], k, 1, tags=tags)
 
 
-def total_macs(layers) -> int:
+def total_macs(layers: Iterable[Layer]) -> int:
     """Sum of MACs over an iterable of layers."""
     return sum(layer.macs for layer in layers)

@@ -88,8 +88,8 @@ def _check_chain(group: LayerGroup) -> list[Diagnostic]:
 def _check_group(group: LayerGroup) -> list[Diagnostic]:
     findings: list[Diagnostic] = []
     if group.row_shardable and group.instances == 1:
-        narrow = min(l.out_h if l.out_h > 1 else l.out_w
-                     for l in group.layers)
+        narrow = min(layer.out_h if layer.out_h > 1 else layer.out_w
+                     for layer in group.layers)
         if narrow < 2:
             findings.append(Diagnostic(
                 WARNING, group.name,

@@ -1,0 +1,12 @@
+"""Pragma fixture: every violation here is deliberately suppressed."""
+import time
+
+# repro-lint: disable-file=R5
+
+SUFFIXLESS_COLUMNS = True
+
+
+def stamp(record: dict) -> dict:
+    record["wall_s"] = time.time()  # repro-lint: disable=R1
+    record["latency"] = 0.0  # file-level pragma silences R5
+    return record

@@ -1,0 +1,18 @@
+"""R1 fixture: wall-clock/entropy calls and unordered-set iteration."""
+import os
+import random
+import time
+from datetime import datetime
+
+
+def stamp_record(record: dict) -> dict:
+    record["generated_s"] = time.time()
+    record["stamp"] = datetime.now().isoformat()
+    record["nonce_bytes"] = os.urandom(8)
+    record["pick"] = random.choice(["a", "b"])
+    record["rng"] = random.Random()
+    return record
+
+
+def unordered_fragments(ids: list) -> list:
+    return [f"id={i}" for i in set(ids)]

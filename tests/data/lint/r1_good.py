@@ -1,0 +1,13 @@
+"""R1 fixture: the deterministic spellings of r1_bad.py."""
+import random
+
+
+def stamp_record(record: dict, generated_s: float) -> dict:
+    record["generated_s"] = generated_s  # timestamps are inputs, not reads
+    record["pick"] = "a"
+    record["rng"] = random.Random(1234)  # seeded is fine
+    return record
+
+
+def ordered_fragments(ids: list) -> list:
+    return [f"id={i}" for i in sorted(set(ids))]

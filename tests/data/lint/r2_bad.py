@@ -1,0 +1,8 @@
+"""R2 fixture: hand-rolled plan-key hashing outside the plan store."""
+import hashlib
+import json
+
+
+def fast_plan_key(group_dict: dict, n: int, mode: str) -> str:
+    text = json.dumps({"g": group_dict, "n": n, "m": mode})
+    return hashlib.sha256(text.encode()).hexdigest()

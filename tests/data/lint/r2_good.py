@@ -1,0 +1,6 @@
+"""R2 fixture: key construction routed through the plan store."""
+from repro.core.planstore import plan_key_hash
+
+
+def plan_key(group, n: int, accel, mode: str) -> str:
+    return plan_key_hash(group, n, accel, mode)

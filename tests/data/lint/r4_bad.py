@@ -1,0 +1,13 @@
+"""R4 fixture: unfrozen row columns written without an axis guard."""
+
+_EXTRA_FIELDS = ("contention_ms", "spill_bytes")
+
+
+def price(scenario, summary: dict) -> dict:
+    row = {"key": scenario.key, "custom_note": "x"}
+    row["pipe_ms"] = summary["pipe_ms"]
+    row["queue_depth"] = summary["queue_depth"]
+    for name in _EXTRA_FIELDS:
+        row[name] = summary[name]
+    row.update(scenario.extra_columns())
+    return row

@@ -1,0 +1,15 @@
+"""R4 fixture: the guarded spellings of r4_bad.py."""
+
+_EXTRA_FIELDS = ("contention_ms", "spill_bytes")
+
+
+def price(scenario, summary: dict) -> dict:
+    row = {"key": scenario.key}
+    row["pipe_ms"] = summary["pipe_ms"]  # frozen baseline column
+    if scenario.queue_depth is not None:
+        row["queue_depth"] = summary["queue_depth"]
+        for name in _EXTRA_FIELDS:
+            row[name] = summary[name]
+    if scenario.extra is not None:
+        row.update(scenario.extra_columns())
+    return row

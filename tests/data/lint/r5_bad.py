@@ -1,0 +1,15 @@
+"""R5 fixture: numeric fields named with bare quantity words."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StageCost:
+    stage: str
+    latency: float
+    energy: float
+
+
+def record(cost: StageCost) -> dict:
+    payload = {"stage": cost.stage, "latency": cost.latency}
+    payload["energy"] = cost.energy
+    return payload

@@ -1,0 +1,15 @@
+"""R5 fixture: the unit-suffixed spellings of r5_bad.py."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StageCost:
+    stage: str
+    latency_ms: float
+    energy_mj: float
+
+
+def record(cost: StageCost) -> dict:
+    payload = {"stage": cost.stage, "latency_ms": cost.latency_ms}
+    payload["energy_mj"] = cost.energy_mj
+    return payload
