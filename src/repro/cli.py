@@ -33,6 +33,18 @@ next run.  The report includes the shared plan-cache and
 layer-cost-cache hit/miss statistics, so cache-effectiveness regressions
 are visible alongside the metrics.
 
+Sweeps are fault-tolerant (see ``docs/RESILIENCE.md``): transient
+failures retry on a deterministic backoff schedule (``--retries`` caps
+the attempts), ``--journal DIR`` checkpoints every outcome so a rerun of
+the same command resumes instead of re-pricing, ``--keep-going``
+finishes a grid with quarantined scenarios as a partial result (exit
+status 2, failures listed in the report), and the dev-only
+``--inject-faults`` flag scripts reproducible failures::
+
+    chiplet-npu sweep --npus 1,2,4 --workers 4 --retries 5 \\
+        --journal results/journal --keep-going
+    chiplet-npu sweep --npus 1,2 --inject-faults 'fail:0;crash:1'
+
 The chiplet-count scaling report (``report scaling``) sweeps
 ``npus x workload x dram_gbps`` through the same engine and emits the
 scaling table/figure::
@@ -112,6 +124,26 @@ def _sweep_parser() -> argparse.ArgumentParser:
     parser.add_argument("--stream", action="store_true",
                         help="print each scenario's row as it finishes "
                              "(completion order) before the merged report")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="max attempts per scenario on transient "
+                             "failures (default 3; 1 = no retries); "
+                             "backoff is deterministic per scenario key")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="quarantine scenarios that exhaust their "
+                             "retries and finish with a partial result "
+                             "(exit status 2) instead of failing the "
+                             "whole sweep")
+    parser.add_argument("--journal", default=None, metavar="DIR",
+                        help="checkpoint every outcome to this journal "
+                             "directory and resume from it: scenarios "
+                             "already journaled are replayed, not "
+                             "re-priced (byte-identical rows)")
+    parser.add_argument("--inject-faults", default=None, metavar="SCRIPT",
+                        help="dev-only deterministic fault script: "
+                             "';'-joined KIND:TARGET[@ATTEMPTS] tokens "
+                             "with KIND in fail/crash/hang/corrupt-shard "
+                             "and TARGET a grid index (shard index for "
+                             "corrupt-shard); see docs/RESILIENCE.md")
     parser.add_argument("--json", action="store_true",
                         help="emit structured JSON instead of a table")
     parser.add_argument("--output", default=None,
@@ -147,14 +179,30 @@ def _grid_kwargs(args) -> dict:
 def _run_sweep(argv: list[str]) -> int:
     from .io import save_sweep
     from .sim.metrics import format_table
-    from .sweep import ScenarioSweep, scenario_grid
+    from .sweep import (
+        FaultPlan,
+        RetryPolicy,
+        ScenarioSweep,
+        SweepFailure,
+        SweepQuarantineError,
+        scenario_grid,
+    )
 
     parser = _sweep_parser()
     args = parser.parse_args(argv)
     try:
         grid = scenario_grid(**_grid_kwargs(args))
+        retry = (RetryPolicy(max_attempts=args.retries)
+                 if args.retries is not None else None)
+        faults = (FaultPlan.parse(args.inject_faults)
+                  if args.inject_faults else None)
         sweep = ScenarioSweep(grid, workers=args.workers,
-                              store_path=args.store)
+                              store_path=args.store,
+                              strict=not args.keep_going,
+                              retry=retry,
+                              journal_path=args.journal,
+                              resume_from=args.journal,
+                              faults=faults)
     except (ValueError, KeyError) as exc:
         # str(KeyError) wraps the message in repr quotes; unwrap it.
         parser.error(exc.args[0] if exc.args else str(exc))
@@ -165,6 +213,16 @@ def _run_sweep(argv: list[str]) -> int:
             outcomes = []
             for outcome in sweep.run_iter():
                 outcomes.append(outcome)
+                if isinstance(outcome, SweepFailure):
+                    if args.json:
+                        print(json.dumps(outcome.to_manifest(),
+                                         sort_keys=True), flush=True)
+                    else:
+                        print(f"[{len(outcomes)}/{len(grid)}] "
+                              f"{outcome.key}: QUARANTINED "
+                              f"({outcome.error} after {outcome.attempts} "
+                              f"attempt(s))", flush=True)
+                    continue
                 if args.json:
                     print(json.dumps(outcome.row, sort_keys=True),
                           flush=True)
@@ -177,14 +235,19 @@ def _run_sweep(argv: list[str]) -> int:
             result = sweep.merge(outcomes)
         else:
             result = sweep.run()
-    except ValueError as exc:
-        # e.g. a het budget larger than a scenario's trunk quadrant.
+    except (ValueError, SweepQuarantineError) as exc:
+        # e.g. a het budget larger than a scenario's trunk quadrant, or
+        # a strict sweep refusing a grid with quarantined scenarios.
         parser.error(str(exc))
 
     if args.output:
         import pathlib
         pathlib.Path(args.output).parent.mkdir(parents=True, exist_ok=True)
         save_sweep(result, args.output)
+
+    # A partial (quarantine-carrying) result exits 2 so scripts and CI
+    # can tell "priced everything" from "kept going past failures".
+    exit_status = 0 if result.complete else 2
 
     if args.json:
         if args.stream:
@@ -197,7 +260,7 @@ def _run_sweep(argv: list[str]) -> int:
             # (and rows_json, the determinism contract) are
             # byte-comparable.
             print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
-        return 0
+        return exit_status
 
     # format_table derives headers from the first row, so the trunk and
     # hardware-axis columns must appear in every row once any scenario
@@ -244,9 +307,13 @@ def _run_sweep(argv: list[str]) -> int:
             shown["trunk_edp"] = (round(row["trunk_edp_j_ms"], 2)
                                   if "trunk_edp_j_ms" in row else "-")
         display.append(shown)
-    print(format_table(display,
-                       f"Scenario sweep ({len(result.rows)} scenarios, "
-                       f"workers={result.workers})"))
+    if display:
+        print(format_table(display,
+                           f"Scenario sweep ({len(result.rows)} scenarios, "
+                           f"workers={result.workers})"))
+    else:
+        print("Scenario sweep: no scenario priced successfully "
+              f"(workers={result.workers})")
     summary = result.summary()
     cache = summary["plan_cache"]
     print(f"plan cache: {cache['hits']} hits / {cache['misses']} misses "
@@ -258,7 +325,16 @@ def _run_sweep(argv: list[str]) -> int:
           f"{layer['misses']} misses "
           f"({100 * layer['hit_rate']:.1f}% hit rate, "
           f"{layer['entries']} entries)")
-    return 0
+    if result.store_skipped:
+        names = ", ".join(rec["file"] for rec in result.store_skipped)
+        print(f"plan store: skipped {len(result.store_skipped)} "
+              f"corrupt/stale shard(s): {names}")
+    if result.failures:
+        print(f"quarantined {len(result.failures)} scenario(s):")
+        for failure in result.failures:
+            print(f"  {failure.key}: {failure.error} after "
+                  f"{failure.attempts} attempt(s)")
+    return exit_status
 
 
 def _scaling_parser() -> argparse.ArgumentParser:

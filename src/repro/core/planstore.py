@@ -158,6 +158,17 @@ class PlanStore:
         """All shard files currently in the store, sorted by name."""
         return sorted(self.path.glob(f"{_SHARD_PREFIX}*{_SHARD_SUFFIX}"))
 
+    def skipped_manifest(self) -> list[dict]:
+        """:attr:`skipped_files` as sorted, JSON-ready records.
+
+        Shaped for sweep summaries and CLI reports — file *names* only
+        (the store directory is the caller's context; embedding absolute
+        paths would make the manifest machine-dependent).
+        """
+        return [{"file": shard.name, "reason": reason}
+                for shard, reason in sorted(
+                    self.skipped_files, key=lambda pair: pair[0].name)]
+
     # ------------------------------------------------------------------
 
     def load(self) -> dict[str, Optional["GroupPlan"]]:

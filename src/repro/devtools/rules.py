@@ -35,6 +35,11 @@ _R1_BANNED = {
     ("time", "time"), ("time", "time_ns"),
     ("time", "monotonic"), ("time", "monotonic_ns"),
     ("time", "perf_counter"), ("time", "perf_counter_ns"),
+    # Sleeping is wall-clock coupling too: retry backoff must compute
+    # durations deterministically and wait through the injectable
+    # repro.sweep.resilience.Clock (RealClock owns the one sanctioned
+    # time.sleep call site).
+    ("time", "sleep"),
     ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
     ("date", "today"),
     ("os", "urandom"), ("os", "getpid"),

@@ -11,8 +11,8 @@ points across worker processes and merges the results deterministically:
   leaks into the output, which is what makes the serial, parallel, and
   streaming paths byte-identical once serialized;
 * :meth:`ScenarioSweep.run_iter` streams outcomes as they finish (serially,
-  or over ``as_completed`` futures), so huge grids report rows as they
-  land; :meth:`ScenarioSweep.run` is literally ``merge(run_iter())``, which
+  or over worker futures), so huge grids report rows as they land;
+  :meth:`ScenarioSweep.run` is literally ``merge(run_iter())``, which
   is why the batch artifact and the collected stream are the same bytes;
 * ``store_path`` layers a :class:`~repro.core.planstore.PlanStore` under
   every worker's plan cache: workers warm-start from disk and flush their
@@ -25,6 +25,16 @@ points across worker processes and merges the results deterministically:
   (the *split* between hits and misses depends on which worker priced
   which scenario first and is intentionally excluded from the
   deterministic row payload).
+
+Execution is fault-tolerant (see :mod:`repro.sweep.resilience`): failures
+inside a worker are shipped back per scenario and retried on the
+:class:`RetryPolicy`'s deterministic schedule; a dead worker
+(``BrokenProcessPool``) or a hung pool (the ``chunk_timeout_s`` watchdog)
+costs only the in-flight chunks, which are re-dispatched as singletons so
+a poison scenario quarantines alone; a ``journal_path`` checkpoints every
+outcome so ``resume_from=`` replays completed keys instead of re-pricing
+them; and ``strict=False`` merges a partially failed grid into a partial
+result carrying a deterministic ``failures`` manifest.
 """
 
 from __future__ import annotations
@@ -33,9 +43,11 @@ import functools
 import json
 import operator
 import pathlib
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Union
 
 from ..core.dse import TrunkDSE
 from ..core.plancache import CacheStats, get_plan_cache, plan_cache_stats
@@ -43,6 +55,17 @@ from ..core.planstore import PlanStore
 from ..cost import nvdla_chiplet, shidiannao_chiplet
 from ..cost.model import evaluate
 from ..workloads.pipeline import STAGE_TR
+from .faults import FaultPlan
+from .journal import SweepJournal
+from .resilience import (
+    Clock,
+    RealClock,
+    RetryPolicy,
+    SweepFailure,
+    SweepQuarantineError,
+    WorkerCrashError,
+    error_class,
+)
 from .scenario import Scenario
 
 #: summary metrics copied from Schedule.summary() into each sweep row.
@@ -188,6 +211,11 @@ class SweepOutcome:
     layer_cache: CacheStats
 
 
+#: what :meth:`ScenarioSweep.run_iter` yields: a priced scenario, or the
+#: quarantine record of one that exhausted its retries.
+SweepItem = Union[SweepOutcome, SweepFailure]
+
+
 def _attach_store(store_path) -> bool:
     """Attach a PlanStore to this process's plan cache.
 
@@ -214,14 +242,20 @@ def _worker_init(store_path) -> None:
     _attach_store(store_path)
 
 
-def _run_one(scenario: Scenario) -> SweepOutcome:
+def _run_one(scenario: Scenario, faults: FaultPlan | None = None,
+             attempt: int = 1, clock: Clock | None = None) -> SweepOutcome:
     """Price one scenario and capture both memo layers' deltas.
 
-    When a store is attached, the plans this scenario introduced are
-    flushed immediately — an atomic shard write that concurrent workers
-    sharing the directory tolerate without locks — so even a crashed or
-    cancelled sweep leaves its completed work warm on disk.
+    Any scripted fault for ``(scenario.key, attempt)`` fires first, so
+    injected failures land exactly where a real one would: before the
+    outcome exists.  When a store is attached, the plans this scenario
+    introduced are flushed immediately — an atomic shard write that
+    concurrent workers sharing the directory tolerate without locks —
+    so even a crashed or cancelled sweep leaves its completed work warm
+    on disk.
     """
+    if faults is not None:
+        faults.fire(scenario.key, attempt, clock)
     plan_before = plan_cache_stats()
     layer_before = layer_cost_cache_stats()
     row = run_scenario(scenario)
@@ -237,9 +271,23 @@ def _run_one(scenario: Scenario) -> SweepOutcome:
     return outcome
 
 
-def _run_chunk(scenarios: list[Scenario]) -> list[SweepOutcome]:
-    """Worker entry point: price a chunk of scenarios."""
-    return [_run_one(s) for s in scenarios]
+def _run_chunk(items: list[tuple[Scenario, int]],
+               faults: FaultPlan | None = None) -> list[tuple]:
+    """Worker entry point: price a chunk of ``(scenario, attempt)`` pairs.
+
+    Failures are caught *per scenario* and shipped back as data, so one
+    raising scenario costs neither its chunk-mates' finished work nor the
+    worker process — the parent decides retry vs quarantine.  Entries are
+    ``("ok", outcome)`` or ``("err", scenario, attempt, exception)``.
+    """
+    entries: list[tuple] = []
+    for scenario, attempt in items:
+        try:
+            entries.append(("ok", _run_one(scenario, faults=faults,
+                                           attempt=attempt)))
+        except Exception as error:
+            entries.append(("err", scenario, attempt, error))
+    return entries
 
 
 @dataclass
@@ -247,7 +295,8 @@ class SweepResult:
     """Merged output of one sweep run."""
 
     scenarios: list[Scenario]
-    #: one row per scenario, in the grid's canonical order.
+    #: one row per *priced* scenario, in the grid's canonical order
+    #: (every scenario, unless a non-strict merge quarantined some).
     rows: list[dict]
     #: summed per-scenario plan-cache deltas across all workers.
     cache_stats: CacheStats
@@ -255,8 +304,18 @@ class SweepResult:
     layer_cache_stats: CacheStats
     parallel: bool
     workers: int
+    #: quarantined scenarios (grid order); empty for a complete result.
+    failures: list[SweepFailure] = field(default_factory=list)
+    #: plan-store shard files ignored as corrupt/stale, as
+    #: ``{"file", "reason"}`` records (empty without a store).
+    store_skipped: list[dict] = field(default_factory=list)
     _row_index: dict | None = field(default=None, init=False, repr=False,
                                     compare=False)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every scenario in the grid produced a row."""
+        return not self.failures
 
     def row(self, key: str) -> dict:
         """The row for one scenario key (dict-indexed, built once)."""
@@ -267,22 +326,47 @@ class SweepResult:
     def rows_json(self) -> str:
         """Canonical serialization of the deterministic payload.
 
-        Serial, parallel, and streaming runs of the same grid produce
-        byte-identical output here (cache statistics are excluded on
-        purpose: the hit/miss split depends on work placement, the rows
-        do not).
+        Serial, parallel, streaming, and crash-resumed runs of the same
+        grid produce byte-identical output here (cache statistics are
+        excluded on purpose: the hit/miss split depends on work
+        placement, the rows do not — and retry attempt counts are
+        excluded for the same reason: they report infrastructure luck,
+        not scenario economics).
         """
         return json.dumps({"rows": self.rows}, sort_keys=True, indent=2)
 
+    def failures_manifest(self) -> list[dict]:
+        """Deterministic quarantine manifest: key, error class, attempts.
+
+        Grid-ordered and free of messages/paths/addresses, so two runs
+        that fail the same way produce the same manifest bytes.
+        """
+        return [f.to_manifest() for f in self.failures]
+
+    def failures_json(self) -> str:
+        """Canonical serialization of :meth:`failures_manifest`."""
+        return json.dumps({"failures": self.failures_manifest()},
+                          sort_keys=True, indent=2)
+
     def summary(self) -> dict:
-        """Headline sweep metrics, Schedule.summary()-style."""
-        return {
+        """Headline sweep metrics, Schedule.summary()-style.
+
+        The ``failures`` and ``store_skipped`` keys appear only when
+        non-empty, so summaries of healthy sweeps stay byte-stable
+        against pre-resilience artifacts.
+        """
+        report = {
             "scenarios": len(self.rows),
             "parallel": self.parallel,
             "workers": self.workers,
             "plan_cache": self.cache_stats.to_dict(),
             "layer_cost_cache": self.layer_cache_stats.to_dict(),
         }
+        if self.failures:
+            report["failures"] = self.failures_manifest()
+        if self.store_skipped:
+            report["store_skipped"] = self.store_skipped
+        return report
 
     def to_dict(self) -> dict:
         return {"summary": self.summary(), "rows": self.rows}
@@ -299,6 +383,21 @@ class ScenarioSweep:
     #: optional directory of a shared, disk-backed plan store: workers
     #: warm-start from it and flush newly computed plans back.
     store_path: str | pathlib.Path | None = None
+    #: strict merges raise on any quarantined scenario; ``strict=False``
+    #: returns a partial result carrying the failures manifest instead.
+    strict: bool = True
+    #: retry schedule for transient failures (None = the default policy).
+    retry: RetryPolicy | None = None
+    #: optional journal directory: every outcome checkpoints there.
+    journal_path: str | pathlib.Path | None = None
+    #: optional journal directory to *replay*: completed keys are yielded
+    #: from the journal instead of re-priced, and new outcomes keep
+    #: checkpointing there (unless ``journal_path`` points elsewhere).
+    resume_from: str | pathlib.Path | None = None
+    #: dev/test-only deterministic fault script (``--inject-faults``).
+    faults: FaultPlan | None = None
+    #: where retry backoff waits; inject a NullClock in tests.
+    clock: Clock | None = None
 
     def __post_init__(self) -> None:
         if not self.scenarios:
@@ -310,71 +409,294 @@ class ScenarioSweep:
         keys = [s.key for s in self.scenarios]
         if len(set(keys)) != len(keys):
             raise ValueError("scenario keys must be unique")
+        if self.retry is None:
+            self.retry = RetryPolicy()
+        if self.clock is None:
+            self.clock = RealClock()
+        self._grid_index = {s.key: i for i, s in enumerate(self.scenarios)}
 
     # ------------------------------------------------------------------
 
-    def run_iter(self) -> Iterator[SweepOutcome]:
-        """Yield one :class:`SweepOutcome` per scenario as each finishes.
+    def run_iter(self) -> Iterator[SweepItem]:
+        """Yield one :class:`SweepOutcome` per scenario as each finishes
+        (or a :class:`SweepFailure` for a scenario that exhausted its
+        retries — only possible once faults or real failures occur).
 
         Serial runs yield in grid order; parallel runs yield in completion
-        order over ``as_completed`` futures.  Feed the collected outcomes
-        to :meth:`merge` for the canonical result — byte-identical to
+        order over worker futures.  Feed the collected items to
+        :meth:`merge` for the canonical result — byte-identical to
         :meth:`run`, which is implemented exactly that way.
         """
-        if self.workers == 1:
-            attached = _attach_store(self.store_path)
-            try:
-                for scenario in self.scenarios:
-                    yield _run_one(scenario)
-            finally:
-                if attached:
-                    get_plan_cache().detach_store()
+        faults = (self.faults.resolved(self.scenarios)
+                  if self.faults is not None else None)
+        journal = None
+        journal_dir = self.journal_path or self.resume_from
+        if journal_dir is not None:
+            journal = SweepJournal(journal_dir)
+        if faults is not None and self.store_path is not None:
+            faults.corrupt_store(self.store_path)
+        remaining = self.scenarios
+        if self.resume_from is not None:
+            replayed = SweepJournal(self.resume_from).load()
+            remaining = []
+            for scenario in self.scenarios:
+                done = replayed.get(scenario.key)
+                if done is not None:
+                    yield done
+                else:
+                    remaining.append(scenario)
+        if not remaining:
             return
-        chunks = [self.scenarios[i:i + self.chunksize]
-                  for i in range(0, len(self.scenarios), self.chunksize)]
-        pool = ProcessPoolExecutor(
+        if self.workers == 1:
+            yield from self._serial_iter(remaining, faults, journal)
+        else:
+            yield from self._parallel_iter(remaining, faults, journal)
+
+    # -- serial path ---------------------------------------------------
+
+    def _serial_iter(self, scenarios: list[Scenario],
+                     faults: FaultPlan | None,
+                     journal: SweepJournal | None) -> Iterator[SweepItem]:
+        attached = _attach_store(self.store_path)
+        try:
+            for scenario in scenarios:
+                item = self._price_with_retries(scenario, faults)
+                self._checkpoint(journal, item)
+                yield item
+        finally:
+            if attached:
+                get_plan_cache().detach_store()
+
+    def _price_with_retries(self, scenario: Scenario,
+                            faults: FaultPlan | None) -> SweepItem:
+        """One scenario through the retry loop (serial path)."""
+        attempt = 1
+        while True:
+            if attempt > 1:
+                self.clock.sleep(self.retry.backoff_s(scenario.key, attempt))
+            try:
+                return _run_one(scenario, faults=faults, attempt=attempt,
+                                clock=self.clock)
+            except Exception as error:
+                if (self.retry.is_retryable(error)
+                        and attempt < self.retry.max_attempts):
+                    attempt += 1
+                    continue
+                return SweepFailure(key=scenario.key,
+                                    error=error_class(error),
+                                    attempts=attempt, detail=str(error))
+
+    # -- parallel path -------------------------------------------------
+
+    def _spawn_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_worker_init,
             initargs=(self.store_path,))
+
+    def _lost_unit(self, unit: list[tuple[Scenario, int]],
+                   pending: deque) -> list[SweepFailure]:
+        """Requeue a unit whose worker died/hung; quarantine the spent.
+
+        Lost scenarios re-dispatch as *singletons* at the next attempt,
+        so on repeat the guilty scenario crashes alone and quarantines
+        alone — chunk-mates that were merely collateral recover.
+        """
+        failures = []
+        for scenario, attempt in unit:
+            if attempt < self.retry.max_attempts:
+                pending.append([(scenario, attempt + 1)])
+            else:
+                failures.append(SweepFailure(
+                    key=scenario.key,
+                    error=error_class(WorkerCrashError()),
+                    attempts=attempt,
+                    detail="worker process died or hung mid-chunk"))
+        return failures
+
+    def _settle_entries(self, entries: list[tuple],
+                        pending: deque) -> list[SweepItem]:
+        """Sort worker chunk entries into yields, retries, quarantines."""
+        items: list[SweepItem] = []
+        for entry in entries:
+            if entry[0] == "ok":
+                items.append(entry[1])
+                continue
+            _, scenario, attempt, error = entry
+            if (self.retry.is_retryable(error)
+                    and attempt < self.retry.max_attempts):
+                pending.append([(scenario, attempt + 1)])
+            else:
+                items.append(SweepFailure(key=scenario.key,
+                                          error=error_class(error),
+                                          attempts=attempt,
+                                          detail=str(error)))
+        return items
+
+    def _parallel_iter(self, scenarios: list[Scenario],
+                       faults: FaultPlan | None,
+                       journal: SweepJournal | None) -> Iterator[SweepItem]:
+        pending: deque = deque(
+            [(s, 1) for s in scenarios[i:i + self.chunksize]]
+            for i in range(0, len(scenarios), self.chunksize))
+        pool = self._spawn_pool()
+        inflight: dict = {}
         try:
-            futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
-            for future in as_completed(futures):
-                yield from future.result()
+            while pending or inflight:
+                respawn = False
+                while pending and not respawn:
+                    unit = pending.popleft()
+                    for scenario, attempt in unit:
+                        if attempt > 1:
+                            self.clock.sleep(
+                                self.retry.backoff_s(scenario.key, attempt))
+                    try:
+                        inflight[pool.submit(_run_chunk, unit,
+                                             faults)] = unit
+                    except BrokenProcessPool:
+                        pending.appendleft(unit)
+                        respawn = True
+                if inflight and not respawn:
+                    done, _ = wait(inflight,
+                                   timeout=self.retry.chunk_timeout_s,
+                                   return_when=FIRST_COMPLETED)
+                    if not done:
+                        # Watchdog: nothing completed within the window;
+                        # the pool is presumed hung and every in-flight
+                        # chunk is treated as lost.
+                        respawn = True
+                    for future in done:
+                        unit = inflight.pop(future)
+                        try:
+                            entries = future.result()
+                        except (BrokenProcessPool, OSError):
+                            # The worker died mid-chunk (segfault, OOM
+                            # kill, injected crash): nothing came back.
+                            respawn = True
+                            items = self._lost_unit(unit, pending)
+                        else:
+                            items = self._settle_entries(entries, pending)
+                        for item in items:
+                            self._checkpoint(journal, item)
+                            yield item
+                if respawn:
+                    for unit in inflight.values():
+                        for item in self._lost_unit(unit, pending):
+                            self._checkpoint(journal, item)
+                            yield item
+                    inflight.clear()
+                    _kill_pool(pool)
+                    pool = self._spawn_pool()
         finally:
-            # A consumer that abandons the stream (or a chunk that
-            # raises) must not block on the rest of the grid: drop every
-            # not-yet-started chunk before waiting out the in-flight ones.
+            # A consumer that abandons the stream (or a fatal error) must
+            # not block on the rest of the grid: drop every not-yet-started
+            # chunk before waiting out the in-flight ones.
             pool.shutdown(wait=True, cancel_futures=True)
 
-    def merge(self, outcomes: Iterable[SweepOutcome]) -> SweepResult:
-        """Merge outcomes (any order) into the canonical-order result."""
-        outcomes = list(outcomes)
-        by_key = {o.key: o.row for o in outcomes}
-        missing = [s.key for s in self.scenarios if s.key not in by_key]
+    # -- checkpointing -------------------------------------------------
+
+    def _checkpoint(self, journal: SweepJournal | None,
+                    item: SweepItem) -> None:
+        if journal is None:
+            return
+        index = self._grid_index[item.key]
+        if isinstance(item, SweepFailure):
+            journal.record_failure(index, item)
+        else:
+            journal.record(index, item)
+
+    # ------------------------------------------------------------------
+
+    def merge(self, outcomes: Iterable[SweepItem]) -> SweepResult:
+        """Merge items (any order) into the canonical-order result.
+
+        Duplicate outcomes for one key (possible with retries, resume,
+        or overlapping journals) are tolerated only when their rows are
+        byte-identical — anything else means two runs disagreed about a
+        pure function, which must never be papered over.  A key that
+        failed in one source but priced in another counts as priced.
+        With quarantined keys left over, ``strict`` merges raise
+        :class:`SweepQuarantineError`; non-strict merges return the
+        partial result with its ``failures`` manifest.
+        """
+        failures: list[SweepFailure] = []
+        by_key: dict[str, SweepOutcome] = {}
+        for item in outcomes:
+            if isinstance(item, SweepFailure):
+                failures.append(item)
+                continue
+            seen = by_key.get(item.key)
+            if seen is None:
+                by_key[item.key] = item
+            elif (json.dumps(item.row, sort_keys=True)
+                    != json.dumps(seen.row, sort_keys=True)):
+                raise RuntimeError(
+                    f"duplicate outcomes for scenario {item.key} have "
+                    f"different rows; retries and resume must re-price "
+                    f"identically — refusing to merge")
+        failed: dict[str, SweepFailure] = {}
+        for failure in failures:
+            if failure.key not in by_key and failure.key not in failed:
+                failed[failure.key] = failure
+        missing = [s.key for s in self.scenarios
+                   if s.key not in by_key and s.key not in failed]
         if missing:
             raise RuntimeError(f"scenarios produced no result: {missing}")
+        quarantined = [failed[s.key] for s in self.scenarios
+                       if s.key in failed]
+        if quarantined and self.strict:
+            raise SweepQuarantineError(quarantined)
+        priced = [by_key[s.key] for s in self.scenarios if s.key in by_key]
         # CacheStats.__add__ sums the counters and keeps the largest
-        # per-process table size (tables are per-worker).
+        # per-process table size (tables are per-worker).  The explicit
+        # zero seed keeps an all-quarantined non-strict merge total.
+        zero = CacheStats(hits=0, misses=0, entries=0, store_hits=0)
         plan_stats = functools.reduce(
-            operator.add, (o.plan_cache for o in outcomes))
+            operator.add, (o.plan_cache for o in priced), zero)
         layer_stats = functools.reduce(
-            operator.add, (o.layer_cache for o in outcomes))
+            operator.add, (o.layer_cache for o in priced), zero)
         return SweepResult(
             scenarios=list(self.scenarios),
-            rows=[by_key[s.key] for s in self.scenarios],
+            rows=[o.row for o in priced],
             cache_stats=plan_stats,
             layer_cache_stats=layer_stats,
             parallel=self.workers > 1,
             workers=self.workers,
+            failures=quarantined,
+            store_skipped=self._store_skipped(),
         )
+
+    def _store_skipped(self) -> list[dict]:
+        """Corrupt/stale shard records of the attached store, if any.
+
+        Probed from the parent with a fresh load so the parallel path —
+        where only workers ever read the store — reports shard loss too.
+        """
+        if self.store_path is None:
+            return []
+        probe = PlanStore(self.store_path)
+        probe.load()
+        return probe.skipped_manifest()
 
     def run(self) -> SweepResult:
         """Execute the grid and merge results in canonical order."""
         return self.merge(self.run_iter())
 
 
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear down a broken or hung pool without waiting on its work.
+
+    A hung worker never returns, so ``shutdown(wait=True)`` would block
+    forever — terminate the worker processes first, then reap them.
+    """
+    for proc in list((getattr(pool, "_processes", None) or {}).values()):
+        proc.terminate()
+    pool.shutdown(wait=True, cancel_futures=True)
+
+
 def run_sweep(scenarios: list[Scenario], workers: int = 1,
-              store_path: str | pathlib.Path | None = None) -> SweepResult:
+              store_path: str | pathlib.Path | None = None,
+              **kwargs) -> SweepResult:
     """Convenience wrapper: build and run a :class:`ScenarioSweep`."""
     return ScenarioSweep(scenarios, workers=workers,
-                         store_path=store_path).run()
+                         store_path=store_path, **kwargs).run()

@@ -16,3 +16,7 @@ def stamp_record(record: dict) -> dict:
 
 def unordered_fragments(ids: list) -> list:
     return [f"id={i}" for i in set(ids)]
+
+
+def wait_a_bit() -> None:
+    time.sleep(0.1)

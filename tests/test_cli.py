@@ -216,3 +216,65 @@ class TestSweepCli:
         assert second["summary"]["plan_cache"]["misses"] == 0
         assert second["summary"]["plan_cache"]["store_hits"] > 0
         assert second["rows"] == first["rows"]
+
+
+class TestResilienceCli:
+    def test_injected_fault_retries_transparently(self, capsys):
+        assert main(["sweep", "--tolerances", "1.0,1.1",
+                     "--inject-faults", "fail:0", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["scenarios"] == 2
+        assert "failures" not in payload["summary"]
+
+    def test_keep_going_exits_2_with_manifest(self, capsys):
+        code = main(["sweep", "--tolerances", "1.0,1.1",
+                     "--inject-faults", "fail:1@1,2,3",
+                     "--keep-going", "--json"])
+        assert code == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["scenarios"] == 1
+        manifest = payload["summary"]["failures"]
+        assert manifest[0]["error"] == "InjectedFault"
+        assert manifest[0]["attempts"] == 3
+
+    def test_strict_quarantine_errors_out(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--tolerances", "1.0,1.1",
+                  "--inject-faults", "fail:1@1,2,3"])
+        err = capsys.readouterr().err
+        assert "quarantined" in err
+        assert "--keep-going" in err
+
+    def test_retries_flag_bounds_attempts(self, capsys):
+        code = main(["sweep", "--tolerances", "1.0",
+                     "--inject-faults", "fail:0@1,2",
+                     "--retries", "1", "--keep-going", "--json"])
+        assert code == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["failures"][0]["attempts"] == 1
+
+    def test_malformed_fault_script_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--tolerances", "1.0",
+                  "--inject-faults", "explode:0"])
+        assert "fault" in capsys.readouterr().err
+
+    def test_journal_flag_checkpoints_and_resumes(self, tmp_path, capsys):
+        journal = tmp_path / "journal"
+        assert main(["sweep", "--tolerances", "1.0,1.1",
+                     "--journal", str(journal), "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert len(list(journal.glob("outcome-*.json"))) == 2
+        # the same command again resumes: replayed rows are identical
+        assert main(["sweep", "--tolerances", "1.0,1.1",
+                     "--journal", str(journal), "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["rows"] == first["rows"]
+
+    def test_stream_reports_quarantined_scenarios(self, capsys):
+        code = main(["sweep", "--tolerances", "1.0,1.1", "--stream",
+                     "--inject-faults", "fail:0@1,2,3", "--keep-going"])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "QUARANTINED" in out
+        assert "quarantined 1 scenario(s):" in out

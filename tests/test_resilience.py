@@ -1,0 +1,410 @@
+"""Tests for fault-tolerant sweep execution (resilience, faults, journal).
+
+The contract under test: every failure mode the resilience layer handles
+— injected failures, worker crashes, hung pools, corrupted shards,
+interrupted runs — must leave the deterministic row payload untouched.
+``rows_json()`` is compared byte-for-byte against an undisturbed serial
+run throughout.
+"""
+
+import json
+
+import pytest
+
+from repro.sweep import (
+    CRASH_EXIT_CODE,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    NullClock,
+    RetryPolicy,
+    ScenarioSweep,
+    SweepFailure,
+    SweepJournal,
+    SweepOutcome,
+    SweepQuarantineError,
+    TransientError,
+    WorkerCrashError,
+    error_class,
+    key_fraction,
+    scenario_grid,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return scenario_grid(tolerances=(1.0, 1.05), npus=(1, 2))
+
+
+@pytest.fixture(scope="module")
+def reference(grid):
+    """The undisturbed serial run every fault scenario must reproduce."""
+    return ScenarioSweep(list(grid)).run()
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy: deterministic backoff
+# ----------------------------------------------------------------------
+
+class TestRetryPolicy:
+    def test_backoff_is_a_pure_function(self):
+        policy = RetryPolicy()
+        first = [policy.backoff_s("tol=1.0", a) for a in range(1, 6)]
+        again = [policy.backoff_s("tol=1.0", a) for a in range(1, 6)]
+        assert first == again
+
+    def test_first_attempt_never_waits(self):
+        assert RetryPolicy().backoff_s("anything", 1) == 0.0
+
+    def test_backoff_grows_then_caps(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_cap_s=0.3)
+        waits = [policy.backoff_s("k", a) for a in (2, 3, 4, 5, 6)]
+        assert waits[0] < waits[1]
+        assert waits == sorted(waits)
+        assert waits[-1] == 0.3
+
+    def test_key_jitter_separates_scenarios(self):
+        policy = RetryPolicy()
+        assert (policy.backoff_s("tol=1.0", 2)
+                != policy.backoff_s("tol=1.05", 2))
+
+    def test_key_fraction_is_stable_and_bounded(self):
+        for key in ("", "a", "tol=1.0|npus=2", "x" * 500):
+            frac = key_fraction(key)
+            assert 0.0 <= frac < 1.0
+            assert frac == key_fraction(key)
+
+    def test_retryable_classification(self):
+        policy = RetryPolicy()
+        assert policy.is_retryable(TransientError("x"))
+        assert policy.is_retryable(WorkerCrashError("x"))
+        assert policy.is_retryable(InjectedFault("x"))
+        assert policy.is_retryable(OSError("x"))
+        assert not policy.is_retryable(ValueError("deterministic"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(chunk_timeout_s=0.0)
+
+    def test_null_clock_records_instead_of_waiting(self):
+        clock = NullClock()
+        clock.sleep(0.25)
+        clock.sleep(0.5)
+        assert clock.slept == [0.25, 0.5]
+
+
+class TestFailureRecords:
+    def test_error_class_is_rule_stable(self):
+        assert error_class(ValueError("path /tmp/x at 0x7f..")) \
+            == "ValueError"
+        assert error_class(InjectedFault("n")) == "InjectedFault"
+
+    def test_manifest_excludes_the_free_text_detail(self):
+        failure = SweepFailure(key="k", error="ValueError", attempts=2,
+                               detail="message with /paths and counters")
+        assert failure.to_manifest() == {"key": "k", "error": "ValueError",
+                                         "attempts": 2}
+
+    def test_quarantine_error_lists_every_key(self):
+        exc = SweepQuarantineError([
+            SweepFailure(key="a", error="InjectedFault", attempts=3),
+            SweepFailure(key="b", error="ValueError", attempts=1),
+        ])
+        assert "a" in str(exc) and "b" in str(exc)
+        assert "strict=False" in str(exc)
+
+
+# ----------------------------------------------------------------------
+# FaultPlan: the deterministic failure script
+# ----------------------------------------------------------------------
+
+class TestFaultPlan:
+    def test_parse_round_trips_the_grammar(self):
+        plan = FaultPlan.parse("fail:0; crash:1@2 ;hang:2@1,3;"
+                               "corrupt-shard:0")
+        kinds = [s.kind for s in plan.specs]
+        assert kinds == ["fail", "crash", "hang", "corrupt-shard"]
+        assert plan.specs[1].attempts == (2,)
+        assert plan.specs[2].attempts == (1, 3)
+
+    @pytest.mark.parametrize("text", [
+        "", "fail", "fail:", "fail:x", "explode:0", "fail:0@", "fail:0@0",
+    ])
+    def test_parse_rejects_malformed_scripts(self, text):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(text)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="nope", target=0)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="fail", target=0, attempts=())
+        with pytest.raises(ValueError):
+            FaultSpec(kind="hang", target=0, hang_s=0.0)
+
+    def test_resolved_maps_indices_to_keys(self, grid):
+        plan = FaultPlan.parse("fail:1").resolved(grid)
+        assert plan.specs[0].target == grid[1].key
+        assert plan.spec_for(grid[1].key, 1) is not None
+        assert plan.spec_for(grid[1].key, 2) is None
+        assert plan.spec_for(grid[0].key, 1) is None
+
+    def test_resolved_rejects_out_of_grid_targets(self, grid):
+        with pytest.raises(ValueError, match="outside"):
+            FaultPlan.parse(f"fail:{len(grid)}").resolved(grid)
+
+    def test_fire_raises_a_retryable_fault(self, grid):
+        plan = FaultPlan.parse("fail:0").resolved(grid)
+        with pytest.raises(InjectedFault):
+            plan.fire(grid[0].key, 1)
+        plan.fire(grid[0].key, 2)  # not armed for attempt 2
+        assert issubclass(InjectedFault, TransientError)
+
+    def test_hang_fires_through_the_injectable_clock(self, grid):
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="hang", target=0, hang_s=123.0),
+        )).resolved(grid)
+        clock = NullClock()
+        plan.fire(grid[0].key, 1, clock)
+        assert clock.slept == [123.0]
+
+    def test_crash_exit_code_is_distinctive(self):
+        assert CRASH_EXIT_CODE == 86
+
+
+# ----------------------------------------------------------------------
+# Serial retries and quarantine
+# ----------------------------------------------------------------------
+
+class TestSerialRetries:
+    def test_transient_failure_retries_to_identical_rows(self, grid,
+                                                         reference):
+        clock = NullClock()
+        result = ScenarioSweep(list(grid), faults=FaultPlan.parse("fail:0"),
+                               clock=clock).run()
+        assert result.rows_json() == reference.rows_json()
+        assert result.complete
+        # exactly one retry happened, on the deterministic schedule
+        assert clock.slept == [
+            RetryPolicy().backoff_s(grid[0].key, 2)]
+
+    def test_poison_scenario_quarantines_strict(self, grid):
+        sweep = ScenarioSweep(list(grid),
+                              faults=FaultPlan.parse("fail:1@1,2,3"),
+                              clock=NullClock())
+        with pytest.raises(SweepQuarantineError) as err:
+            sweep.run()
+        assert [f.key for f in err.value.failures] == [grid[1].key]
+        assert err.value.failures[0].attempts == 3
+
+    def test_keep_going_returns_partial_with_manifest(self, grid,
+                                                      reference):
+        sweep = ScenarioSweep(list(grid),
+                              faults=FaultPlan.parse("fail:1@1,2,3"),
+                              strict=False, clock=NullClock())
+        result = sweep.run()
+        assert not result.complete
+        assert len(result.rows) == len(grid) - 1
+        assert result.failures_manifest() == [{
+            "key": grid[1].key, "error": "InjectedFault", "attempts": 3}]
+        assert result.summary()["failures"] == result.failures_manifest()
+        # the surviving rows are the reference rows, minus the victim
+        surviving = [r for r in reference.rows if r["key"] != grid[1].key]
+        assert result.rows == surviving
+
+    def test_failure_manifest_bytes_are_deterministic(self, grid):
+        def manifest():
+            return ScenarioSweep(
+                list(grid), faults=FaultPlan.parse("fail:0@1,2,3"),
+                strict=False, clock=NullClock()).run().failures_json()
+        assert manifest() == manifest()
+
+    def test_deterministic_error_is_not_retried(self):
+        # A het budget beyond the trunk quadrant capacity raises
+        # ValueError at pricing time: re-running a pure function cannot
+        # change the answer, so quarantine happens on attempt 1.
+        bad = scenario_grid(tolerances=(1.0,), het_ws_budgets=(64,))
+        clock = NullClock()
+        result = ScenarioSweep(list(bad), strict=False,
+                               clock=clock).run()
+        assert result.rows == []
+        assert result.failures_manifest() == [{
+            "key": bad[0].key, "error": "ValueError", "attempts": 1}]
+        assert clock.slept == []  # no backoff was ever scheduled
+
+    def test_custom_attempt_budget_is_honored(self, grid):
+        clock = NullClock()
+        sweep = ScenarioSweep(list(grid),
+                              retry=RetryPolicy(max_attempts=5),
+                              faults=FaultPlan.parse("fail:0@1,2,3,4"),
+                              clock=clock)
+        result = sweep.run()
+        assert result.complete  # succeeded on the fifth attempt
+        assert len(clock.slept) == 4
+
+
+# ----------------------------------------------------------------------
+# Journal: checkpoint and resume
+# ----------------------------------------------------------------------
+
+class TestJournal:
+    def test_interrupted_run_resumes_byte_identical(self, grid, reference,
+                                                    tmp_path):
+        journal_dir = tmp_path / "journal"
+        stream = ScenarioSweep(list(grid),
+                               journal_path=journal_dir).run_iter()
+        next(stream)
+        next(stream)
+        stream.close()  # the "crash": two outcomes checkpointed
+        assert len(list(journal_dir.glob("outcome-*.json"))) == 2
+        resumed = ScenarioSweep(list(grid),
+                                resume_from=journal_dir).run()
+        assert resumed.rows_json() == reference.rows_json()
+        # resume completed the journal for the next resume
+        assert len(list(journal_dir.glob("outcome-*.json"))) == len(grid)
+
+    def test_fully_journaled_grid_replays_without_pricing(self, grid,
+                                                          reference,
+                                                          tmp_path):
+        journal_dir = tmp_path / "journal"
+        ScenarioSweep(list(grid), journal_path=journal_dir).run()
+        replayed = ScenarioSweep(list(grid),
+                                 resume_from=journal_dir).run()
+        assert replayed.rows_json() == reference.rows_json()
+
+    def test_corrupt_and_stale_records_degrade_to_repricing(
+            self, grid, reference, tmp_path):
+        journal_dir = tmp_path / "journal"
+        ScenarioSweep(list(grid), journal_path=journal_dir).run()
+        records = sorted(journal_dir.glob("outcome-*.json"))
+        records[0].write_text("{ truncated")
+        stale = json.loads(records[1].read_text())
+        stale["schema"] = -1
+        records[1].write_text(json.dumps(stale))
+        journal = SweepJournal(journal_dir)
+        outcomes = journal.load()
+        assert len(outcomes) == len(grid) - 2
+        assert sorted(reason for _, reason in journal.skipped_files) \
+            == ["corrupt", "schema"]
+        resumed = ScenarioSweep(list(grid),
+                                resume_from=journal_dir).run()
+        assert resumed.rows_json() == reference.rows_json()
+
+    def test_failures_are_journaled_but_never_replayed(self, grid,
+                                                       tmp_path):
+        journal_dir = tmp_path / "journal"
+        ScenarioSweep(list(grid), journal_path=journal_dir,
+                      faults=FaultPlan.parse("fail:0@1,2,3"),
+                      strict=False, clock=NullClock()).run()
+        journal = SweepJournal(journal_dir)
+        failures = journal.load_failures()
+        assert [f.error for f in failures] == ["InjectedFault"]
+        # the failed key is absent from the replay map, so a resumed run
+        # re-attempts it from scratch (the fault may have been transient)
+        assert grid[0].key not in journal.load()
+        resumed = ScenarioSweep(list(grid),
+                                resume_from=journal_dir).run()
+        assert resumed.complete
+
+    def test_round_trip_preserves_rows_and_stats(self, grid, tmp_path):
+        journal_dir = tmp_path / "journal"
+        sweep = ScenarioSweep(list(grid), journal_path=journal_dir)
+        originals = {o.key: o for o in sweep.run_iter()}
+        loaded = SweepJournal(journal_dir).load()
+        assert set(loaded) == set(originals)
+        for key, outcome in loaded.items():
+            assert isinstance(outcome, SweepOutcome)
+            assert outcome.row == originals[key].row
+            assert outcome.plan_cache.to_dict() \
+                == originals[key].plan_cache.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Parallel recovery: crashes, hangs, in-worker retries
+# ----------------------------------------------------------------------
+
+class TestParallelRecovery:
+    def test_worker_crash_recovers_byte_identical(self, grid, reference):
+        result = ScenarioSweep(list(grid), workers=2, chunksize=2,
+                               faults=FaultPlan.parse("crash:1"),
+                               clock=NullClock()).run()
+        assert result.rows_json() == reference.rows_json()
+        assert result.complete
+
+    def test_crash_always_quarantines_as_worker_crash(self, grid):
+        # A single-scenario grid keeps the test deterministic: nothing
+        # else can be collaterally re-dispatched by the pool deaths.
+        victim = [grid[0]]
+        result = ScenarioSweep(victim, workers=2,
+                               faults=FaultPlan.parse("crash:0@1,2,3"),
+                               strict=False, clock=NullClock()).run()
+        assert result.rows == []
+        assert result.failures_manifest() == [{
+            "key": grid[0].key, "error": "WorkerCrashError",
+            "attempts": 3}]
+
+    def test_hung_worker_trips_the_watchdog(self, grid, reference):
+        result = ScenarioSweep(
+            list(grid), workers=2, chunksize=2,
+            retry=RetryPolicy(chunk_timeout_s=5.0),
+            faults=FaultPlan.parse("hang:0"),
+            clock=NullClock()).run()
+        assert result.rows_json() == reference.rows_json()
+
+    def test_in_worker_transient_failure_retries(self, grid, reference):
+        result = ScenarioSweep(list(grid), workers=2,
+                               faults=FaultPlan.parse("fail:3"),
+                               clock=NullClock()).run()
+        assert result.rows_json() == reference.rows_json()
+
+    def test_parallel_journal_matches_serial_journal_rows(self, grid,
+                                                          tmp_path):
+        serial_dir, parallel_dir = tmp_path / "s", tmp_path / "p"
+        ScenarioSweep(list(grid), journal_path=serial_dir).run()
+        ScenarioSweep(list(grid), workers=2, journal_path=parallel_dir,
+                      faults=FaultPlan.parse("crash:1"),
+                      clock=NullClock()).run()
+        serial_rows = {k: o.row
+                       for k, o in SweepJournal(serial_dir).load().items()}
+        parallel_rows = {
+            k: o.row for k, o in SweepJournal(parallel_dir).load().items()}
+        assert serial_rows == parallel_rows
+
+
+# ----------------------------------------------------------------------
+# Corrupt plan-store shards surface in the result
+# ----------------------------------------------------------------------
+
+class TestCorruptShardDegradation:
+    @staticmethod
+    def _cold():
+        # Cold caches so the warm-up run actually flushes shards: plans
+        # already memoized in this process are never re-flushed.
+        from repro.core import clear_plan_cache
+        from repro.cost import clear_cache
+        clear_cache()
+        clear_plan_cache()
+
+    def test_corrupt_shard_is_survived_and_reported(self, grid, reference,
+                                                    tmp_path):
+        store = tmp_path / "store"
+        self._cold()
+        ScenarioSweep(list(grid), store_path=store).run()
+        self._cold()
+        result = ScenarioSweep(list(grid), store_path=store,
+                               faults=FaultPlan.parse("corrupt-shard:0"),
+                               clock=NullClock()).run()
+        assert result.rows_json() == reference.rows_json()
+        assert result.store_skipped
+        assert result.store_skipped[0]["reason"] == "corrupt"
+        assert result.summary()["store_skipped"] == result.store_skipped
+
+    def test_healthy_store_reports_no_skips(self, grid, tmp_path):
+        store = tmp_path / "store"
+        result = ScenarioSweep(list(grid), store_path=store).run()
+        assert result.store_skipped == []
+        assert "store_skipped" not in result.summary()

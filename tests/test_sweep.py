@@ -176,6 +176,23 @@ class TestStreaming:
         chunked = ScenarioSweep(grid, workers=2, chunksize=2).run()
         assert chunked.rows_json() == batch.rows_json()
 
+    def test_merge_tolerates_byte_identical_duplicates(self, grid):
+        # Retries and journal resume can legitimately price a scenario
+        # twice; identical rows merge to one.
+        sweep = ScenarioSweep(grid, workers=1)
+        outcomes = list(sweep.run_iter())
+        merged = sweep.merge(outcomes + [outcomes[0]])
+        assert [r["key"] for r in merged.rows] == [s.key for s in grid]
+
+    def test_merge_rejects_conflicting_duplicates(self, grid):
+        import dataclasses
+        sweep = ScenarioSweep(grid, workers=1)
+        outcomes = list(sweep.run_iter())
+        mutated = dataclasses.replace(
+            outcomes[0], row={**outcomes[0].row, "pipe_ms": -1.0})
+        with pytest.raises(RuntimeError, match="duplicate"):
+            sweep.merge(outcomes + [mutated])
+
 
 class TestStoreBackedSweep:
     @pytest.fixture(scope="class")
@@ -243,3 +260,21 @@ class TestStoreBackedSweep:
         stream.close()  # must cancel queued chunks, not run them all
         # the engine stays usable afterwards
         assert len(ScenarioSweep(grid[:1], workers=1).run().rows) == 1
+
+    def test_abandoned_stream_leaves_flushed_plans_warm(self, grid,
+                                                        tmp_path):
+        # The cancel_futures contract: breaking out of run_iter mid-grid
+        # drops queued chunks, but every *completed* scenario has already
+        # flushed its plans — the store stays warm for the next run.
+        from repro.core import PlanStore
+        store = tmp_path / "store"
+        self._cold()
+        sweep = ScenarioSweep(grid, workers=2, store_path=store)
+        stream = sweep.run_iter()
+        first = next(stream)
+        assert first.row["pipe_ms"] > 0
+        stream.close()
+        assert PlanStore(store).load(), "no plans flushed before abandon"
+        self._cold()
+        warm = ScenarioSweep(grid, workers=1, store_path=store).run()
+        assert warm.cache_stats.store_hits > 0
