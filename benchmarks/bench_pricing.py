@@ -1,0 +1,101 @@
+"""Benchmark: vectorized batch pricing vs the scalar evaluate loop.
+
+Locks the tentpole claim of the batch pricing core: pricing a scenario
+grid's distinct ``(layer, accel)`` pairs as one matrix
+(:func:`repro.cost.batch.price_batch`) must be at least 2x faster than
+the equivalent scalar ``evaluate()`` loop, with results byte-identical
+to the scalar path (the exact-equality contract the pricing tests lock
+field-for-field).
+
+The candidate set is extracted the way delta-sweeps and the sweep
+workers do — ``PricingRequest.from_scenarios`` over a 3-axis grid
+(workload variant x dataflow style x native tile) — so the benchmark
+measures the matrix the production pre-seeding actually builds.
+
+Results land in ``BENCH_pricing.json`` and are gated against the
+committed baseline by ``compare_baselines.py``.
+"""
+
+import dataclasses
+import json
+import os
+import time
+
+from repro.cost import (
+    HAVE_NUMPY,
+    PricingRequest,
+    clear_cache,
+    evaluate,
+    price_batch,
+)
+from repro.sweep import WORKLOAD_VARIANTS, scenario_grid
+
+#: 3-axis extraction grid: every workload variant, both package-wide
+#: dataflow styles, and two native-tile shapes.
+GRID_KWARGS = dict(
+    workloads=tuple(sorted(WORKLOAD_VARIANTS)),
+    dataflows=(None, "ws"),
+    native_tiles=(None, (8, 32)),
+)
+
+
+def _costs_doc(request, costs) -> str:
+    """Canonical serialization of a pricing run, in request order."""
+    return json.dumps(
+        [dataclasses.asdict(costs[pair]) for pair in request.pairs],
+        sort_keys=True)
+
+
+def _timed(fn):
+    """Best-of-2 wall clock plus the (identical) return value."""
+    start = time.perf_counter()
+    value = fn()
+    first_s = time.perf_counter() - start
+    start = time.perf_counter()
+    fn()
+    return min(first_s, time.perf_counter() - start), value
+
+
+def test_batch_pricing_is_2x_faster(benchmark, artifact_dir):
+    request = PricingRequest.from_scenarios(scenario_grid(**GRID_KWARGS))
+
+    def scalar_run():
+        # The pre-batch status quo: one cold scalar evaluate() per pair
+        # (clearing the memo makes every call do mapper work and a memo
+        # insert, exactly like the first toucher of each pair in a cold
+        # sweep).
+        clear_cache()
+        return {pair: evaluate(*pair) for pair in request.pairs}
+
+    def batch_run():
+        return price_batch(request, engine="auto")
+
+    scalar_s, scalar_costs = _timed(scalar_run)
+    batch_s, batch_costs = _timed(batch_run)
+    benchmark.pedantic(batch_run, rounds=1, iterations=1)
+
+    byte_identical = (_costs_doc(request, scalar_costs)
+                      == _costs_doc(request, batch_costs))
+    payload = {
+        "pairs": len(request),
+        "numpy": HAVE_NUMPY,
+        "scalar_ms": round(scalar_s * 1e3, 3),
+        "batch_ms": round(batch_s * 1e3, 3),
+        "speedup": round(scalar_s / batch_s, 2),
+        "rows_byte_identical": byte_identical,
+    }
+    (artifact_dir / "BENCH_pricing.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    # Work-based invariants hold on any machine: both engines price the
+    # same request to byte-identical results.
+    assert byte_identical
+    assert len(scalar_costs) == len(batch_costs) == len(request)
+    # The wall-clock ratio is asserted strictly by default; CI shared
+    # runners set SWEEP_BENCH_STRICT=0 because load noise can eat the
+    # margin there — the measured speedup still lands in the artifact.
+    if os.environ.get("SWEEP_BENCH_STRICT", "1") != "0":
+        assert scalar_s >= 2.0 * batch_s, (
+            f"batch pricing bought only {scalar_s / batch_s:.2f}x "
+            f"(scalar {scalar_s * 1e3:.1f} ms, "
+            f"batch {batch_s * 1e3:.1f} ms)")

@@ -79,6 +79,12 @@ CHECKS: dict[str, list[Gate]] = {
         Gate("grid_scenarios", "exact"),
         Gate("speedup", "min_ratio", 0.4),
     ],
+    "BENCH_pricing.json": [
+        Gate("rows_byte_identical", "exact"),
+        Gate("pairs", "exact"),
+        Gate("numpy", "exact"),
+        Gate("speedup", "min_ratio", 0.4),
+    ],
     "BENCH_scaling.json": [
         Gate("deterministic", "exact"),
         Gate("throttled_points", "exact"),

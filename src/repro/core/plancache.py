@@ -50,6 +50,10 @@ class CacheStats:
     #: how many of the hits were first served from an attached
     #: :class:`~repro.core.planstore.PlanStore` (0 when none is attached).
     store_hits: int = 0
+    #: entries pre-seeded by batch pricing (:mod:`repro.cost.batch`)
+    #: rather than computed on a first-touch miss; 0 for the plan cache,
+    #: which has no seeding path.
+    seeded: int = 0
 
     @property
     def lookups(self) -> int:
@@ -60,28 +64,38 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def to_dict(self) -> dict:
-        """Plain-dict form for reports (sorted, JSON-safe)."""
-        return {
+        """Plain-dict form for reports (sorted, JSON-safe).
+
+        ``seeded`` appears only when nonzero, so plan-cache payloads —
+        and every artifact produced before batch seeding existed — stay
+        byte-stable.
+        """
+        out = {
             "hits": self.hits,
             "misses": self.misses,
             "entries": self.entries,
             "store_hits": self.store_hits,
             "hit_rate": round(self.hit_rate, 4),
         }
+        if self.seeded:
+            out["seeded"] = self.seeded
+        return out
 
     def __sub__(self, other: "CacheStats") -> "CacheStats":
         """Counter delta between two snapshots (entries from ``self``)."""
         return CacheStats(hits=self.hits - other.hits,
                           misses=self.misses - other.misses,
                           entries=self.entries,
-                          store_hits=self.store_hits - other.store_hits)
+                          store_hits=self.store_hits - other.store_hits,
+                          seeded=self.seeded - other.seeded)
 
     def __add__(self, other: "CacheStats") -> "CacheStats":
         """Order-independent merge of per-worker counters."""
         return CacheStats(hits=self.hits + other.hits,
                           misses=self.misses + other.misses,
                           entries=max(self.entries, other.entries),
-                          store_hits=self.store_hits + other.store_hits)
+                          store_hits=self.store_hits + other.store_hits,
+                          seeded=self.seeded + other.seeded)
 
 
 class PlanCache:

@@ -58,7 +58,8 @@ def _stats_from(payload: object) -> CacheStats:
     return CacheStats(hits=int(payload.get("hits", 0)),
                       misses=int(payload.get("misses", 0)),
                       entries=int(payload.get("entries", 0)),
-                      store_hits=int(payload.get("store_hits", 0)))
+                      store_hits=int(payload.get("store_hits", 0)),
+                      seeded=int(payload.get("seeded", 0)))
 
 
 class SweepJournal:
@@ -86,15 +87,24 @@ class SweepJournal:
         return target
 
     def record(self, index: int, outcome: "SweepOutcome") -> pathlib.Path:
-        """Checkpoint one completed scenario under its grid index."""
-        return self._write(f"{_OUTCOME_PREFIX}{index:05d}", {
+        """Checkpoint one completed scenario under its grid index.
+
+        The ``fingerprint`` field (when the outcome carries one) is what
+        lets a later ``run_delta`` splice this row without re-pricing;
+        it is additive, so pre-fingerprint readers ignore it and the
+        schema version stays put.
+        """
+        payload = {
             "schema": self.schema_version,
             "index": index,
             "key": outcome.key,
             "row": outcome.row,
             "plan_cache": outcome.plan_cache.to_dict(),
             "layer_cache": outcome.layer_cache.to_dict(),
-        })
+        }
+        if outcome.fingerprint is not None:
+            payload["fingerprint"] = outcome.fingerprint
+        return self._write(f"{_OUTCOME_PREFIX}{index:05d}", payload)
 
     def record_failure(self, index: int,
                        failure: SweepFailure) -> pathlib.Path:
@@ -152,11 +162,14 @@ class SweepJournal:
             if not isinstance(key, str) or not isinstance(row, dict):
                 self.skipped_files.append((record, "corrupt"))
                 continue
+            fingerprint = payload.get("fingerprint")
             outcomes[key] = SweepOutcome(
                 key=key,
                 row=row,
                 plan_cache=_stats_from(payload.get("plan_cache")),
                 layer_cache=_stats_from(payload.get("layer_cache")),
+                fingerprint=(fingerprint
+                             if isinstance(fingerprint, str) else None),
             )
         return outcomes
 

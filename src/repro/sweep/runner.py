@@ -46,13 +46,14 @@ import pathlib
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator, Union
 
 from ..core.dse import TrunkDSE
 from ..core.plancache import CacheStats, get_plan_cache, plan_cache_stats
-from ..core.planstore import PlanStore
+from ..core.planstore import PlanStore, content_digest
 from ..cost import nvdla_chiplet, shidiannao_chiplet
+from ..cost.batch import scenario_pairs, seed_pairs
 from ..cost.model import evaluate
 from ..workloads.pipeline import STAGE_TR
 from .faults import FaultPlan
@@ -101,7 +102,7 @@ def layer_cost_cache_stats() -> CacheStats:
     """
     info = evaluate.cache_info()
     return CacheStats(hits=info.hits, misses=info.misses,
-                      entries=info.currsize)
+                      entries=info.currsize, seeded=info.seeded)
 
 
 def run_scenario(scenario: Scenario) -> dict:
@@ -113,6 +114,12 @@ def run_scenario(scenario: Scenario) -> dict:
     package-construction path experiments and the CLI share.
     """
     built = scenario.build()
+    # Pre-seed the evaluate memo from one batch-priced matrix (the
+    # workload's layers crossed with the package's distinct chiplet
+    # configs, plus the trunk-DSE candidates): the schedulers' inner
+    # loops below then hit the memo instead of calling the mapper.
+    # Idempotent and exact, so warm re-runs and row bytes are unchanged.
+    seed_pairs(scenario_pairs(scenario, built))
     schedule = built.schedule()
     summary = schedule.summary()
     row = {"key": scenario.key, **scenario.to_dict()}
@@ -199,6 +206,33 @@ def _trunk_columns(scenario: Scenario, workload, ws_budget: int,
     return dict(_TRUNK_MEMO[key])
 
 
+def scenario_fingerprint(scenario: Scenario) -> str:
+    """Content hash of everything ``run_scenario`` prices for a scenario.
+
+    Materializes the scenario through :meth:`Scenario.build` and digests
+    the same canonical views the plan store hashes — every workload
+    group, every chiplet's accelerator config — plus the scenario's own
+    axis payload, its plan context, and the DRAM traffic the budget
+    would meter.  Two scenarios with equal fingerprints are priced from
+    identical inputs, so the pure :func:`run_scenario` produces
+    byte-identical rows for them; delta-sweeps rely on exactly that to
+    splice journaled rows instead of re-pricing (and a code change that
+    alters any serialized view changes the fingerprint, which safely
+    voids stale journals).
+    """
+    from ..io.serialize import accel_to_dict, group_to_dict
+    built = scenario.build()
+    payload = {
+        "scenario": scenario.to_dict(),
+        "context": scenario.plan_context,
+        "groups": [group_to_dict(g) for g in built.workload.all_groups()],
+        "chiplets": [accel_to_dict(c.accel)
+                     for c in built.package.chiplets],
+        "dram_bytes_per_frame": built.dram_bytes_per_frame,
+    }
+    return content_digest(payload)
+
+
 @dataclass(frozen=True)
 class SweepOutcome:
     """One completed scenario: its row plus this run's memo deltas."""
@@ -209,6 +243,12 @@ class SweepOutcome:
     plan_cache: CacheStats
     #: layer-cost ``evaluate`` counter delta attributable to this scenario
     layer_cache: CacheStats
+    #: :func:`scenario_fingerprint` of the priced scenario.  Computed
+    #: parent-side at journal-checkpoint time (workers never pay for
+    #: it), so it is ``None`` on freshly priced in-memory outcomes and
+    #: on outcomes replayed from journals written before fingerprints
+    #: existed (delta-sweeps then conservatively re-price).
+    fingerprint: str | None = None
 
 
 #: what :meth:`ScenarioSweep.run_iter` yields: a priced scenario, or the
@@ -309,6 +349,10 @@ class SweepResult:
     #: plan-store shard files ignored as corrupt/stale, as
     #: ``{"file", "reason"}`` records (empty without a store).
     store_skipped: list[dict] = field(default_factory=list)
+    #: delta-sweep runs only: scenarios spliced from the baseline by
+    #: fingerprint proof instead of re-priced.  ``None`` (the default)
+    #: means "not a delta run" and keeps ``summary()`` byte-stable.
+    delta_skipped: int | None = None
     _row_index: dict | None = field(default=None, init=False, repr=False,
                                     compare=False)
 
@@ -352,8 +396,9 @@ class SweepResult:
         """Headline sweep metrics, Schedule.summary()-style.
 
         The ``failures`` and ``store_skipped`` keys appear only when
-        non-empty, so summaries of healthy sweeps stay byte-stable
-        against pre-resilience artifacts.
+        non-empty, and ``delta_skipped`` only on delta-sweep runs, so
+        summaries of healthy full sweeps stay byte-stable against
+        pre-resilience artifacts.
         """
         report = {
             "scenarios": len(self.rows),
@@ -366,6 +411,8 @@ class SweepResult:
             report["failures"] = self.failures_manifest()
         if self.store_skipped:
             report["store_skipped"] = self.store_skipped
+        if self.delta_skipped is not None:
+            report["delta_skipped"] = self.delta_skipped
         return report
 
     def to_dict(self) -> dict:
@@ -414,6 +461,7 @@ class ScenarioSweep:
         if self.clock is None:
             self.clock = RealClock()
         self._grid_index = {s.key: i for i, s in enumerate(self.scenarios)}
+        self._scenarios_by_key = {s.key: s for s in self.scenarios}
 
     # ------------------------------------------------------------------
 
@@ -602,8 +650,15 @@ class ScenarioSweep:
         index = self._grid_index[item.key]
         if isinstance(item, SweepFailure):
             journal.record_failure(index, item)
-        else:
-            journal.record(index, item)
+            return
+        if item.fingerprint is None:
+            # Fingerprints are journal metadata: computed parent-side at
+            # checkpoint time, overlapped with worker compute, so the
+            # workers (and unjournaled runs) never pay the extra
+            # Scenario.build + digest.
+            item = replace(item, fingerprint=scenario_fingerprint(
+                self._scenarios_by_key[item.key]))
+        journal.record(index, item)
 
     # ------------------------------------------------------------------
 
@@ -681,6 +736,78 @@ class ScenarioSweep:
     def run(self) -> SweepResult:
         """Execute the grid and merge results in canonical order."""
         return self.merge(self.run_iter())
+
+    # -- delta-sweeps --------------------------------------------------
+
+    def _baseline_outcomes(
+            self,
+            baseline: "SweepResult | str | pathlib.Path",
+    ) -> dict[str, SweepOutcome]:
+        """Splice candidates from a prior result or its journal.
+
+        Journal records carry the fingerprint they were priced under;
+        an in-memory :class:`SweepResult` carries its scenarios, whose
+        fingerprints are recomputed (cheap — no pricing).  Either way a
+        candidate without a fingerprint is never spliced.
+        """
+        if not isinstance(baseline, SweepResult):
+            return SweepJournal(baseline).load()
+        scenarios = {s.key: s for s in baseline.scenarios}
+        zero = CacheStats(hits=0, misses=0, entries=0)
+        outcomes: dict[str, SweepOutcome] = {}
+        for row in baseline.rows:
+            scenario = scenarios.get(row["key"])
+            if scenario is None:  # pragma: no cover - malformed baseline
+                continue
+            outcomes[row["key"]] = SweepOutcome(
+                key=row["key"], row=row, plan_cache=zero, layer_cache=zero,
+                fingerprint=scenario_fingerprint(scenario))
+        return outcomes
+
+    def run_delta(self,
+                  baseline: "SweepResult | str | pathlib.Path",
+                  ) -> SweepResult:
+        """Re-price only the scenarios that moved since ``baseline``.
+
+        ``baseline`` is a prior :class:`SweepResult` or the directory of
+        the journal a prior run checkpointed to.  Every scenario in this
+        sweep's grid whose key appears in the baseline *and* whose
+        :func:`scenario_fingerprint` matches the baseline's is spliced
+        from the baseline verbatim — the fingerprint proves the pricing
+        inputs are identical, and ``run_scenario`` is pure, so the
+        spliced row is the row a cold run would produce.  Everything
+        else (new keys, moved fingerprints, pre-fingerprint journal
+        records) is re-priced through the normal engine, retries,
+        journaling and all.  The merged result is byte-identical to a
+        full cold run of the grid (``rows_json()``), with
+        ``delta_skipped`` counting the spliced scenarios in
+        :meth:`SweepResult.summary`.
+
+        Spliced outcomes keep their journaled cache-counter deltas (the
+        resume convention); splices from an in-memory result count zero,
+        since that work was already reported by the baseline run.
+        """
+        base = self._baseline_outcomes(baseline)
+        spliced: list[SweepOutcome] = []
+        remaining: list[Scenario] = []
+        for scenario in self.scenarios:
+            done = base.get(scenario.key)
+            if (done is not None and done.fingerprint is not None
+                    and done.fingerprint == scenario_fingerprint(scenario)):
+                spliced.append(done)
+            else:
+                remaining.append(scenario)
+        items: list[SweepItem] = list(spliced)
+        if remaining:
+            sub = replace(self, scenarios=remaining, resume_from=None)
+            # Checkpoints must land under the *parent* grid's indices:
+            # a delta journal lines up with the full grid, not with the
+            # compacted re-price list.
+            sub._grid_index = self._grid_index
+            items.extend(sub.run_iter())
+        result = self.merge(items)
+        result.delta_skipped = len(spliced)
+        return result
 
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:

@@ -1,0 +1,8 @@
+"""R6 fixture: numpy leaking outside the batch pricing engine."""
+import numpy
+import numpy.linalg as la
+from numpy import float64
+
+
+def fast_sum(values):
+    return float64(numpy.sum(values)) + la.norm(values)

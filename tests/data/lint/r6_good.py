@@ -1,0 +1,6 @@
+"""R6 fixture: vectorized work routed through the batch engine."""
+from repro.cost import price_batch
+
+
+def fast_price(pairs):
+    return price_batch(pairs, engine="auto")

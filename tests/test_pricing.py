@@ -1,0 +1,361 @@
+"""Batch pricing (repro.cost.batch) and delta-sweeps: exactness locks.
+
+Two contracts from the ISSUE are locked here:
+
+* ``price_batch()`` — on **both** engines — returns ``LayerCost``
+  records exactly equal to scalar ``evaluate()``: field-for-field on
+  randomized layers/accels (hypothesis), and byte-for-byte against the
+  frozen fixture ``tests/data/frozen_pricing.json``.
+* ``ScenarioSweep.run_delta()`` re-prices only the scenarios whose
+  content fingerprint moved — zero for an unchanged grid — and its
+  merged output is byte-identical to a cold full run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost import (
+    HAVE_NUMPY,
+    PricingRequest,
+    clear_cache,
+    evaluate,
+    eyeriss_chiplet,
+    monolithic,
+    nvdla_chiplet,
+    price_batch,
+    price_chain,
+    seed_pairs,
+    shidiannao_chiplet,
+)
+from repro.cost.batch import scenario_pairs
+from repro.sweep.journal import SweepJournal
+from repro.sweep.runner import ScenarioSweep, scenario_fingerprint
+from repro.sweep.scenario import scenario_grid
+from repro.workloads import (
+    concat,
+    conv,
+    deconv,
+    dense,
+    dwconv,
+    eltwise,
+    matmul,
+    move,
+    pool,
+    softmax,
+)
+
+FIXTURE = pathlib.Path(__file__).parent / "data" / "frozen_pricing.json"
+
+
+def fixture_layers():
+    """One layer per operator class, shaped to hit every mapper branch."""
+    return [
+        conv("conv3", (56, 56), 64, 32, r=3),
+        conv("conv1", (28, 28), 128, 64, r=1, s=1),
+        conv("convs2", (28, 28), 96, 48, r=3, stride=2),
+        conv("tokens", (1, 197), 768, 768, r=1, s=1),
+        dwconv("dw", (28, 28), 96, r=3),
+        deconv("up", (56, 56), 32, 64, r=4, stride=2),
+        dense("fc", (1, 197), 768, 768),
+        matmul("attn", (1, 197), 197, 64),
+        softmax("sm", (1, 197), 197),
+        pool("pool", (28, 28), 64),
+        eltwise("add", (56, 56), 64),
+        concat("cat", (28, 28), 192),
+        move("lift", (32, 88), 80),
+    ]
+
+
+def fixture_accels():
+    """Labeled candidate configs spanning every dataflow and override."""
+    return [
+        ("os-256", shidiannao_chiplet()),
+        ("ws-256", nvdla_chiplet()),
+        ("rs-256", eyeriss_chiplet()),
+        ("mono-9216", monolithic(9216)),
+        ("os-1.5ghz-8x32", shidiannao_chiplet().with_overrides(
+            frequency_hz=1.5e9, native_tile=(8, 32))),
+        ("ws-0.8ghz-32x8", nvdla_chiplet().with_overrides(
+            frequency_hz=0.8e9, native_tile=(32, 8))),
+    ]
+
+
+def fixture_pairs():
+    layers = fixture_layers()
+    return [(label, layer, accel)
+            for label, accel in fixture_accels() for layer in layers]
+
+
+def cost_dict(cost) -> dict:
+    return dataclasses.asdict(cost)
+
+
+def fixture_doc(costs) -> str:
+    """Canonical fixture serialization for a list of per-pair costs."""
+    entries = [
+        {"accel": label, "layer": layer.name, "cost": cost_dict(cost)}
+        for (label, layer, _), cost in zip(fixture_pairs(), costs)
+    ]
+    return json.dumps({"entries": entries}, indent=2, sort_keys=True) + "\n"
+
+
+def engines():
+    """The engines under test (numpy only where available)."""
+    return ("scalar", "numpy") if HAVE_NUMPY else ("scalar",)
+
+
+# ----------------------------------------------------------------------
+# Frozen fixture: byte-for-byte against both engines and the scalar path
+# ----------------------------------------------------------------------
+
+class TestFrozenFixture:
+    def test_fixture_exists(self):
+        assert FIXTURE.is_file(), (
+            "regenerate via fixture_doc() over scalar evaluate() — see "
+            "docs/PRICING.md")
+
+    def test_scalar_evaluate_matches_fixture(self):
+        clear_cache()
+        costs = [evaluate(layer, accel)
+                 for _, layer, accel in fixture_pairs()]
+        assert fixture_doc(costs) == FIXTURE.read_text()
+
+    @pytest.mark.parametrize("engine", engines())
+    def test_price_batch_matches_fixture(self, engine):
+        pairs = [(layer, accel) for _, layer, accel in fixture_pairs()]
+        priced = price_batch(pairs, engine=engine)
+        costs = [priced[pair] for pair in pairs]
+        assert fixture_doc(costs) == FIXTURE.read_text()
+
+
+# ----------------------------------------------------------------------
+# Property tests: batch == scalar, field for field, both engines
+# ----------------------------------------------------------------------
+
+dims = st.integers(min_value=1, max_value=48)
+planes = st.integers(min_value=1, max_value=220)
+kernels = st.sampled_from([1, 3, 5, 7])
+strides = st.sampled_from([1, 2])
+
+
+@st.composite
+def any_layer(draw):
+    kind = draw(st.sampled_from(
+        ["conv", "dwconv", "deconv", "dense", "matmul",
+         "softmax", "pool", "eltwise", "concat", "move"]))
+    hw = (draw(planes), draw(planes))
+    k = draw(dims) * draw(st.sampled_from([1, 4, 16]))
+    if kind == "conv":
+        return conv("L", hw, k, draw(dims), r=draw(kernels),
+                    stride=draw(strides))
+    if kind == "dwconv":
+        return dwconv("L", hw, k, r=draw(kernels), stride=draw(strides))
+    if kind == "deconv":
+        return deconv("L", hw, k, draw(dims), r=draw(kernels))
+    if kind == "dense":
+        return dense("L", hw, k, draw(dims) * 4)
+    if kind == "matmul":
+        return matmul("L", hw, k, draw(dims) * 4)
+    if kind == "softmax":
+        return softmax("L", hw, k)
+    if kind == "pool":
+        return pool("L", hw, k, r=draw(kernels), stride=draw(strides))
+    if kind == "eltwise":
+        return eltwise("L", hw, k)
+    if kind == "concat":
+        return concat("L", hw, k)
+    return move("L", hw, k)
+
+
+@st.composite
+def any_accel(draw):
+    base = draw(st.sampled_from([
+        shidiannao_chiplet(), nvdla_chiplet(), eyeriss_chiplet(),
+        monolithic(9216),
+    ]))
+    freq = draw(st.sampled_from([None, 0.5e9, 1.5e9, 2.4e9]))
+    tile = draw(st.sampled_from([None, (8, 32), (32, 8), (4, 64)]))
+    if freq is None and tile is None:
+        return base
+    return base.with_overrides(frequency_hz=freq, native_tile=tile)
+
+
+class TestBatchEqualsScalar:
+    @given(layer=any_layer(), accel=any_accel())
+    @settings(max_examples=150, deadline=None)
+    def test_single_pair_both_engines(self, layer, accel):
+        expected = evaluate(layer, accel)
+        for engine in engines():
+            got = price_batch([(layer, accel)], engine=engine)[
+                (layer, accel)]
+            # Dataclass equality compares every field with ==; the
+            # asdict comparison reports *which* field diverged on
+            # failure (and catches a -0.0 vs 0.0 flip via repr).
+            assert cost_dict(got) == cost_dict(expected)
+            assert repr(cost_dict(got)) == repr(cost_dict(expected))
+            assert got == expected
+
+    @given(layers=st.lists(any_layer(), min_size=1, max_size=12),
+           accels=st.lists(any_accel(), min_size=1, max_size=3))
+    @settings(max_examples=40, deadline=None)
+    def test_matrix_both_engines(self, layers, accels):
+        pairs = [(layer, accel) for accel in accels for layer in layers]
+        expected = {pair: evaluate(*pair) for pair in pairs}
+        for engine in engines():
+            priced = price_batch(pairs, engine=engine)
+            assert set(priced) == set(expected)
+            for pair, got in priced.items():
+                assert cost_dict(got) == cost_dict(expected[pair])
+
+
+# ----------------------------------------------------------------------
+# Request extraction and memo seeding
+# ----------------------------------------------------------------------
+
+class TestRequestAndSeeding:
+    def test_request_dedupes_in_first_seen_order(self):
+        layer_a, layer_b = conv("a", (8, 8), 16, 8), conv("b", (8, 8), 16, 8)
+        accel = shidiannao_chiplet()
+        request = PricingRequest.from_pairs(
+            [(layer_a, accel), (layer_b, accel), (layer_a, accel)])
+        assert request.pairs == ((layer_a, accel), (layer_b, accel))
+        assert len(request) == 2
+
+    def test_from_scenarios_collects_distinct_pairs(self):
+        grid = scenario_grid(tolerances=[1.05, 1.2])
+        request = PricingRequest.from_scenarios(grid)
+        # Both scenarios build the same workload/package, so the pair
+        # set is exactly one scenario's worth, fully deduplicated.
+        single = scenario_pairs(grid[0])
+        assert request.pairs == tuple(dict.fromkeys(single))
+        assert len(set(request.pairs)) == len(request)
+
+    def test_seed_pairs_turns_evaluate_into_hits(self):
+        clear_cache()
+        layers = fixture_layers()
+        accel = nvdla_chiplet()
+        inserted = seed_pairs((layer, accel) for layer in layers)
+        assert inserted == len(layers)
+        info = evaluate.cache_info()
+        assert info.seeded == len(layers)
+        assert info.misses == 0
+        for layer in layers:
+            assert evaluate(layer, accel) == price_batch(
+                [(layer, accel)], engine="scalar")[(layer, accel)]
+        info = evaluate.cache_info()
+        assert info.hits == len(layers)
+        assert info.misses == 0
+        # Idempotent: nothing left to seed.
+        assert seed_pairs((layer, accel) for layer in layers) == 0
+        assert price_chain(layers, accel) == 0
+        clear_cache()
+
+    def test_engine_validation(self):
+        pair = (conv("v", (8, 8), 16, 8), shidiannao_chiplet())
+        with pytest.raises(ValueError, match="unknown pricing engine"):
+            price_batch([pair], engine="cuda")
+
+
+# ----------------------------------------------------------------------
+# Delta-sweeps
+# ----------------------------------------------------------------------
+
+GRID_KWARGS = dict(tolerances=[1.1, 1.25], nop_gbps=[64.0, 128.0])
+
+
+def count_repriced(monkeypatch, sweep, baseline):
+    """Run ``run_delta`` while recording which keys hit run_scenario."""
+    import repro.sweep.runner as runner_mod
+    orig = runner_mod.run_scenario
+    priced: list[str] = []
+
+    def counting(scenario):
+        priced.append(scenario.key)
+        return orig(scenario)
+
+    monkeypatch.setattr(runner_mod, "run_scenario", counting)
+    result = sweep.run_delta(baseline)
+    return result, priced
+
+
+class TestDeltaSweep:
+    @pytest.fixture()
+    def baseline(self, tmp_path):
+        journal = tmp_path / "journal"
+        grid = scenario_grid(**GRID_KWARGS)
+        full = ScenarioSweep(grid, journal_path=journal).run()
+        return grid, journal, full
+
+    def test_unchanged_grid_reprices_zero(self, baseline, monkeypatch):
+        grid, journal, full = baseline
+        sweep = ScenarioSweep(scenario_grid(**GRID_KWARGS))
+        result, priced = count_repriced(monkeypatch, sweep, journal)
+        assert priced == []
+        assert result.delta_skipped == len(grid)
+        assert result.summary()["delta_skipped"] == len(grid)
+        assert result.rows_json() == full.rows_json()
+
+    def test_single_axis_change_reprices_only_moved_keys(
+            self, baseline, monkeypatch, tmp_path):
+        _, journal, _ = baseline
+        changed = scenario_grid(tolerances=[1.1, 1.25],
+                                nop_gbps=[64.0, 256.0])
+        sweep = ScenarioSweep(changed)
+        result, priced = count_repriced(monkeypatch, sweep, journal)
+        moved = [s.key for s in changed if "nop=256" in s.key]
+        assert sorted(priced) == sorted(moved)
+        assert result.delta_skipped == len(changed) - len(moved)
+        cold = ScenarioSweep(list(changed)).run()
+        assert result.rows_json() == cold.rows_json()
+
+    def test_in_memory_result_baseline(self, baseline, monkeypatch):
+        grid, _, full = baseline
+        sweep = ScenarioSweep(scenario_grid(**GRID_KWARGS))
+        result, priced = count_repriced(monkeypatch, sweep, full)
+        assert priced == []
+        assert result.delta_skipped == len(grid)
+        assert result.rows_json() == full.rows_json()
+
+    def test_pre_fingerprint_journal_reprices_everything(
+            self, baseline, monkeypatch):
+        grid, journal, full = baseline
+        # Strip the fingerprints, simulating a journal written before
+        # delta-sweeps existed: splicing must conservatively refuse.
+        for record in SweepJournal(journal).outcome_files():
+            payload = json.loads(record.read_text())
+            payload.pop("fingerprint")
+            record.write_text(json.dumps(payload, sort_keys=True))
+        sweep = ScenarioSweep(scenario_grid(**GRID_KWARGS))
+        result, priced = count_repriced(monkeypatch, sweep, journal)
+        assert sorted(priced) == sorted(s.key for s in grid)
+        assert result.delta_skipped == 0
+        assert result.rows_json() == full.rows_json()
+
+    def test_fingerprint_is_content_addressed(self):
+        grid = scenario_grid(**GRID_KWARGS)
+        fp_a = scenario_fingerprint(grid[0])
+        fp_b = scenario_fingerprint(dataclasses.replace(grid[0]))
+        assert fp_a == fp_b  # structural, not identity
+        assert fp_a != scenario_fingerprint(grid[1])
+        assert len(fp_a) == 64  # sha256 hex
+
+    def test_delta_journal_checkpoints_under_parent_indices(
+            self, baseline, tmp_path):
+        _, journal, _ = baseline
+        changed = scenario_grid(tolerances=[1.1, 1.25],
+                                nop_gbps=[64.0, 256.0])
+        delta_journal = tmp_path / "delta-journal"
+        sweep = ScenarioSweep(changed, journal_path=delta_journal)
+        sweep.run_delta(journal)
+        recorded = {json.loads(p.read_text())["key"]: p.name
+                    for p in SweepJournal(delta_journal).outcome_files()}
+        index = {s.key: i for i, s in enumerate(changed)}
+        for key, name in recorded.items():
+            assert name == f"outcome-{index[key]:05d}.json"
