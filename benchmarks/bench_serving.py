@@ -1,0 +1,103 @@
+"""Benchmark: warm sweeps through the networked memo server.
+
+Locks the serving layer's overhead claim: a sweep that warm-starts from
+a ``chiplet-npu serve`` memo server over HTTP must stay within a small
+tolerance band of the same sweep warm-starting from the disk-backed
+store (``remote_over_disk``), with byte-identical rows, a warm miss
+count of 0, and the server's p50/p99 latency per request class recorded
+in the artifact (TPU-paper style: percentiles, not just throughput).
+
+The cold/warm protocol mirrors ``bench_planstore.py``: every timed run
+starts from cold in-process caches, so the only difference between the
+disk and remote runs is the transport the plans arrive through.
+
+Results land in ``BENCH_serving.json`` so the serving-overhead
+trajectory is machine-readable from this PR onward.
+"""
+
+import json
+import os
+import time
+
+from repro.core import clear_plan_cache
+from repro.cost import clear_cache
+from repro.serve import MemoServer
+from repro.sweep import ScenarioSweep, clear_trunk_memo, scenario_grid
+
+#: a planning-diverse but serving-bound grid: the timed warm runs spend
+#: their time loading/flushing plans, which is the path under test.
+GRID_KWARGS = dict(
+    tolerances=(1.0, 1.05),
+    workloads=("default", "hires"),
+    npus=(2,),
+)
+
+
+def _cold_process_state() -> None:
+    clear_cache()
+    clear_plan_cache()
+    clear_trunk_memo()
+
+
+def _timed_run(grid, store_path):
+    _cold_process_state()
+    start = time.perf_counter()
+    result = ScenarioSweep(grid, store_path=store_path).run()
+    return time.perf_counter() - start, result
+
+
+def test_warm_remote_sweep_tracks_warm_disk(benchmark, artifact_dir,
+                                            tmp_path):
+    grid = scenario_grid(**GRID_KWARGS)
+
+    # Disk reference: cold run populates the store, warm best-of-2.
+    disk_store = tmp_path / "planstore"
+    _, disk_cold = _timed_run(grid, disk_store)
+    disk1_s, disk_warm = _timed_run(grid, disk_store)
+    disk2_s, _ = _timed_run(grid, disk_store)
+    disk_s = min(disk1_s, disk2_s)
+
+    with MemoServer(tmp_path / "served") as server:
+        cold_s, remote_cold = _timed_run(grid, server.url)
+        remote1_s, remote_warm = _timed_run(grid, server.url)
+        remote2_s, _ = _timed_run(grid, server.url)
+        remote_s = min(remote1_s, remote2_s)
+        benchmark.pedantic(lambda: _timed_run(grid, server.url),
+                           rounds=1, iterations=1)
+        percentiles = server.latency.report()
+
+    payload = {
+        "grid_scenarios": len(grid),
+        "cold_remote_s": round(cold_s, 4),
+        "warm_remote_s": round(remote_s, 4),
+        "warm_disk_s": round(disk_s, 4),
+        "remote_over_disk": round(remote_s / disk_s, 2),
+        "warm_remote_plan_cache": remote_warm.summary()["plan_cache"],
+        "request_percentiles": percentiles,
+        "rows_byte_identical":
+            remote_cold.rows_json() == remote_warm.rows_json()
+            == disk_cold.rows_json() == disk_warm.rows_json(),
+    }
+    (artifact_dir / "BENCH_serving.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    # Work-based invariants hold on any machine: the warm remote run
+    # recomputes nothing, rows are byte-identical across every
+    # transport, and the server observed every request class the sweep
+    # exercises with nearest-rank percentiles in order.
+    assert payload["rows_byte_identical"]
+    assert remote_warm.cache_stats.misses == 0
+    assert remote_warm.cache_stats.store_hits > 0
+    assert remote_cold.cache_stats.misses > 0
+    for request_class in ("batch_get", "batch_put"):
+        summary = percentiles[request_class]
+        assert summary["count"] > 0
+        assert summary["p50_ms"] <= summary["p99_ms"]
+    # The wall-clock band is asserted strictly by default; CI shared
+    # runners set SWEEP_BENCH_STRICT=0 because load noise can eat the
+    # margin — the measured ratio still lands in the artifact and is
+    # gated (generously) by compare_baselines.py.
+    if os.environ.get("SWEEP_BENCH_STRICT", "1") != "0":
+        assert remote_s <= 2.0 * disk_s, (
+            f"remote warm sweep cost {remote_s / disk_s:.2f}x the disk "
+            f"warm sweep (remote {remote_s:.3f} s, disk {disk_s:.3f} s)")

@@ -137,7 +137,10 @@ def check_axis_coherence(scenario_src: str, cli_src: str, docs_text: str,
 
     Returns one R3 diagnostic per missing or stale link: Scenario field
     <-> AXIS_SPECS <-> key/to_dict fragments <-> CLI sweep flags (and the
-    scaling-report subset) <-> the docs axis table.
+    scaling-report subset) <-> the docs axis table.  The docs link is
+    checked in both directions and over the *whole* sweep-parser
+    surface: a table row naming a retired flag is stale, and a parser
+    flag (axis or execution) with no table row is undocumented.
     """
     diags: list = []
 
@@ -233,4 +236,16 @@ def check_axis_coherence(scenario_src: str, cli_src: str, docs_text: str,
             diag(docs_path, line,
                  f"docs axis table lists {flag} but _sweep_parser "
                  f"defines no such flag")
+
+    # ... and the reverse: every flag the sweep parser defines — axis or
+    # execution — must appear in a SWEEP.md table row, so the CLI surface
+    # can never silently outgrow its documentation.
+    axis_flags = {sweep_flags[dest][0] for _, (dest, _) in
+                  sweep_axes.items() if dest in sweep_flags}
+    for dest in sorted(sweep_flags):
+        flag, line = sweep_flags[dest]
+        if docs and flag not in docs and flag not in axis_flags:
+            diag(cli_path, line,
+                 f"_sweep_parser defines {flag} but no {docs_path} "
+                 f"table row documents it")
     return diags

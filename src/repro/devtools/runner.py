@@ -41,7 +41,8 @@ RULES = {
           "(plan_key_hash / PlanStore.key_hash own key construction)",
     "R3": "axis coherence: every Scenario axis threads through "
           "AXIS_SPECS, key/to_dict, the CLI sweep/report flags, and the "
-          "docs/SWEEP.md axis table",
+          "docs/SWEEP.md axis table; every sweep-parser flag has a "
+          "docs/SWEEP.md table row and no row names a retired flag",
     "R4": "gated columns: sweep row keys outside the frozen fixtures "
           "are written behind only-when-set guards",
     "R5": "units naming: numeric fields/columns carry unit suffixes "

@@ -1,0 +1,166 @@
+"""Wire protocol for the networked plan-memo service.
+
+The memo server and :class:`~repro.serve.client.RemoteStoreClient` speak
+a small POST-JSON protocol whose semantics are *exactly* the
+:class:`~repro.core.planstore.PlanStore` contract lifted onto HTTP (see
+``docs/SERVING.md`` for the full specification):
+
+* **Keys are content hashes** minted by
+  :func:`repro.core.planstore.plan_key_hash` — the wire never invents a
+  second canonicalization (repro-lint R2 keeps hashing confined to the
+  plan-store module).
+* **Schema skew is a miss, never an error.**  Every request carries the
+  client's :data:`~repro.core.planstore.SCHEMA_VERSION`; a server on a
+  different version answers gets with misses and ignores puts, exactly
+  as ``PlanStore.load`` skips foreign-schema shards.  Likewise a corrupt
+  shard on the server's disk simply leaves its keys unserved.
+* **Errors split into a deterministic taxonomy**: transport failures
+  (connection refused, timeouts) are *transient* and retried on the
+  deterministic :class:`~repro.sweep.resilience.RetryPolicy` schedule;
+  protocol violations (HTTP 4xx, malformed envelopes) raise
+  :class:`ServeProtocolError` and are never retried — re-sending a
+  malformed request cannot change the answer.
+
+This module also owns the server-side latency accounting: every request
+is timed into a :class:`LatencyRecorder` and reported as nearest-rank
+p50/p99 per request class, TPU-paper style (latency percentiles over
+throughput).  The *format* of the report and of the latency log lines is
+deterministic — fixed field order, fixed rounding — while the measured
+values naturally vary run to run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+
+#: wire-protocol revision, stamped into every response envelope.  Bump
+#: when a route's request or response shape changes meaning; clients
+#: reject mismatched responses rather than misparse them.
+PROTOCOL_VERSION = 1
+
+#: the request classes (= POST routes without the slash) the server
+#: serves and times.  Sorted; reports iterate this order.
+REQUEST_CLASSES = ("batch_get", "batch_put", "compact", "get", "put",
+                   "stats", "sweep")
+
+
+class ServeProtocolError(RuntimeError):
+    """A deterministic protocol violation (malformed envelope, HTTP 4xx,
+    protocol-version skew).  Deliberately *not* a
+    :class:`~repro.sweep.resilience.TransientError`: retrying an
+    identical malformed exchange cannot change the outcome, so the
+    retry layer quarantines it on the first attempt.
+    """
+
+
+def percentile(sorted_values: list, q: float) -> float:
+    """Nearest-rank percentile of pre-sorted ``values`` (q in [0, 100]).
+
+    The TPU-paper convention: p50/p99 are actual observed samples, not
+    interpolations — deterministic for a given sample multiset and
+    independent of float rounding subtleties.
+    """
+    if not sorted_values:
+        return 0.0
+    if q <= 0:
+        return sorted_values[0]
+    rank = -(-q * len(sorted_values) // 100)  # ceil without math import
+    return sorted_values[min(len(sorted_values) - 1, int(rank) - 1)]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Percentile summary of one request class's server-side latencies."""
+
+    request_class: str
+    count: int
+    p50_ms: float
+    p99_ms: float
+    mean_ms: float
+
+    def to_dict(self) -> dict:
+        return {"count": self.count,
+                "p50_ms": self.p50_ms,
+                "p99_ms": self.p99_ms,
+                "mean_ms": self.mean_ms}
+
+
+class LatencyRecorder:
+    """Thread-safe per-request-class latency samples and percentiles.
+
+    Samples are recorded in milliseconds; :meth:`report` rounds to
+    microsecond precision (3 decimals) so the report format is stable
+    regardless of platform timer resolution.
+    """
+
+    #: rounding applied to reported percentiles (decimals of a ms).
+    _DECIMALS = 3
+
+    def __init__(self) -> None:
+        self._samples: dict[str, list[float]] = {}
+        self._lock = threading.Lock()
+
+    def record(self, request_class: str, duration_ms: float) -> None:
+        """Add one server-side request timing sample."""
+        with self._lock:
+            self._samples.setdefault(request_class, []).append(duration_ms)
+
+    def summaries(self) -> list[LatencySummary]:
+        """One :class:`LatencySummary` per seen class, sorted by class."""
+        with self._lock:
+            snapshot = {cls: list(samples)
+                        for cls, samples in self._samples.items()}
+        out = []
+        for cls in sorted(snapshot):
+            values = sorted(snapshot[cls])
+            out.append(LatencySummary(
+                request_class=cls,
+                count=len(values),
+                p50_ms=round(percentile(values, 50), self._DECIMALS),
+                p99_ms=round(percentile(values, 99), self._DECIMALS),
+                mean_ms=round(sum(values) / len(values), self._DECIMALS)))
+        return out
+
+    def report(self) -> dict:
+        """``request class -> {count, p50_ms, p99_ms, mean_ms}`` (sorted)."""
+        return {s.request_class: s.to_dict() for s in self.summaries()}
+
+    def log_line(self, request_class: str, duration_ms: float) -> str:
+        """One deterministic-format latency log line.
+
+        Fixed field order and rounding, JSON-parseable, newline-free —
+        the shape the CI artifact and operators grep.
+        """
+        return json.dumps(
+            {"duration_ms": round(duration_ms, self._DECIMALS),
+             "request_class": request_class},
+            sort_keys=True, separators=(", ", ": "))
+
+
+def render_latency_report(report: dict) -> str:
+    """Human-readable p50/p99 table of a :meth:`LatencyRecorder.report`
+    payload (also what ``chiplet-npu sweep --store-url`` prints).
+
+    Accepts the wire dict rather than the recorder so the *client* can
+    render the server's ``/stats`` response without holding samples.
+    """
+    if not report:
+        return "serving latency: no requests recorded"
+    lines = ["serving latency (server-side, per request class):"]
+    for cls in sorted(report):
+        entry = report[cls]
+        lines.append(
+            f"  {cls:<10} count={entry['count']:<6} "
+            f"p50={entry['p50_ms']:.3f} ms  "
+            f"p99={entry['p99_ms']:.3f} ms")
+    return "\n".join(lines)
+
+
+def error_body(kind: str, detail: str = "") -> dict:
+    """The JSON body of a protocol-level error response."""
+    body = {"error": kind, "protocol": PROTOCOL_VERSION}
+    if detail:
+        body["detail"] = detail
+    return body

@@ -256,24 +256,56 @@ class SweepOutcome:
 SweepItem = Union[SweepOutcome, SweepFailure]
 
 
-def _attach_store(store_path) -> bool:
-    """Attach a PlanStore to this process's plan cache.
+def _open_store(store_path):
+    """A :class:`~repro.core.plancache.PlanStoreLike` for a store spec.
 
-    Idempotent for the same directory; refuses to silently serve (and
-    flush) a different store than the one requested.
+    ``http(s)://`` values open a
+    :class:`~repro.serve.client.RemoteStoreClient` against a memo
+    server; anything else is a disk-backed :class:`PlanStore`
+    directory.  (The serve import is lazy — it pulls in this module for
+    the ``/sweep`` route, so a top-level import would cycle.)
+    """
+    from ..serve.client import is_store_url
+    if is_store_url(store_path):
+        from ..serve.client import RemoteStoreClient
+        return RemoteStoreClient(store_path)
+    return PlanStore(store_path)
+
+
+def _same_store(store_path, attached_path) -> bool:
+    """Whether a store spec names the already-attached store.
+
+    URL stores compare as normalized strings, directory stores as
+    paths — never across kinds.
+    """
+    from ..serve.client import is_store_url
+    if is_store_url(store_path):
+        return (isinstance(attached_path, str)
+                and store_path.rstrip("/") == attached_path)
+    if isinstance(attached_path, str):
+        return False
+    return pathlib.Path(store_path) == attached_path
+
+
+def _attach_store(store_path) -> bool:
+    """Attach a plan store (directory or server URL) to this process's
+    plan cache.
+
+    Idempotent for the same directory/URL; refuses to silently serve
+    (and flush) a different store than the one requested.
     """
     cache = get_plan_cache()
     if store_path is None:
         return False
     attached = cache.store
     if attached is not None:
-        if pathlib.Path(store_path) == attached.path:
+        if _same_store(store_path, attached.path):
             return False
         raise RuntimeError(
             f"plan cache is already attached to store {attached.path}; "
             f"cannot attach {store_path} (detach the first store or run "
             f"the sweeps sequentially)")
-    cache.attach_store(PlanStore(store_path))
+    cache.attach_store(_open_store(store_path))
     return True
 
 
@@ -427,7 +459,9 @@ class ScenarioSweep:
     workers: int = 1
     #: scenarios shipped per worker task (streaming granularity).
     chunksize: int = field(default=1)
-    #: optional directory of a shared, disk-backed plan store: workers
+    #: optional shared plan store: a directory (disk-backed
+    #: :class:`PlanStore`) or an ``http(s)://`` memo-server URL
+    #: (:class:`~repro.serve.client.RemoteStoreClient`); workers
     #: warm-start from it and flush newly computed plans back.
     store_path: str | pathlib.Path | None = None
     #: strict merges raise on any quarantined scenario; ``strict=False``
@@ -482,7 +516,12 @@ class ScenarioSweep:
         if journal_dir is not None:
             journal = SweepJournal(journal_dir)
         if faults is not None and self.store_path is not None:
-            faults.corrupt_store(self.store_path)
+            from ..serve.client import is_store_url
+            if not is_store_url(self.store_path):
+                # corrupt-shard faults doctor local shard files; a URL
+                # store has no local files (server-side corruption is
+                # covered by the serving tests instead).
+                faults.corrupt_store(self.store_path)
         remaining = self.scenarios
         if self.resume_from is not None:
             replayed = SweepJournal(self.resume_from).load()
@@ -727,8 +766,22 @@ class ScenarioSweep:
         Probed from the parent with a fresh load so the parallel path —
         where only workers ever read the store — reports shard loss too.
         """
+        from ..serve.client import is_store_url
         if self.store_path is None:
             return []
+        if is_store_url(self.store_path):
+            # The server probed its own shards at load time; ask it for
+            # the manifest instead of touching its disk.  An unreachable
+            # server degrades to "no manifest" — the sweep itself
+            # already succeeded or failed on its own connections.
+            from ..serve.client import RemoteStoreClient
+            try:
+                return RemoteStoreClient(self.store_path,
+                                         retry=self.retry,
+                                         clock=self.clock,
+                                         ).skipped_manifest()
+            except Exception:
+                return []
         probe = PlanStore(self.store_path)
         probe.load()
         return probe.skipped_manifest()

@@ -202,6 +202,16 @@ class TestAxisCoherence:
         assert any(d.rule == "R3" and "--topologies" in d.message
                    and "docs" in d.message for d in diags)
 
+    def test_fires_on_undocumented_execution_flag(self, surfaces):
+        # The widened check: *every* sweep-parser flag needs a docs
+        # table row, not just the axis flags.
+        scenario_src, cli_src, docs = surfaces
+        pruned = "\n".join(line for line in docs.splitlines()
+                           if not line.startswith("| `--stream`"))
+        diags = check_axis_coherence(scenario_src, cli_src, pruned)
+        assert any(d.rule == "R3" and "--stream" in d.message
+                   and "documents" in d.message for d in diags)
+
 
 # ----------------------------------------------------------------------
 # CLI entry point

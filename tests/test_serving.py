@@ -1,0 +1,373 @@
+"""Tests for the serving layer: memo server, remote client, dispatch."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.core import SCHEMA_VERSION, PlanStore, PlanStoreLike
+from repro.serve import (
+    GCPolicy,
+    MemoServer,
+    RemoteStoreClient,
+    ServeProtocolError,
+    dispatch_sweep,
+    is_store_url,
+    percentile,
+    shard_round_robin,
+)
+from repro.serve.protocol import LatencyRecorder
+from repro.sweep import ScenarioSweep, scenario_grid
+from repro.sweep.resilience import NullClock, RetryPolicy
+
+#: a retry policy that never sleeps for real and fails fast.
+FAST_RETRY = RetryPolicy(max_attempts=2, backoff_base_s=0.0)
+
+
+def _cold():
+    from repro.core import clear_plan_cache
+    from repro.cost import clear_cache
+    from repro.sweep import clear_trunk_memo
+    clear_cache()
+    clear_plan_cache()
+    clear_trunk_memo()
+
+
+@pytest.fixture
+def server(tmp_path):
+    with MemoServer(tmp_path / "store") as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    return RemoteStoreClient(server.url, retry=FAST_RETRY,
+                             clock=NullClock())
+
+
+@pytest.fixture
+def grid():
+    return scenario_grid(tolerances=(1.0, 1.05))
+
+
+# ----------------------------------------------------------------------
+# protocol primitives
+# ----------------------------------------------------------------------
+
+class TestPrimitives:
+    def test_is_store_url(self):
+        assert is_store_url("http://127.0.0.1:80")
+        assert is_store_url("https://memo.example")
+        assert not is_store_url("results/planstore")
+        assert not is_store_url(None)
+
+    def test_percentile_is_nearest_rank(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(samples, 50) == 2.0
+        assert percentile(samples, 99) == 4.0
+        assert percentile([7.5], 50) == 7.5
+
+    def test_latency_log_line_format_is_deterministic(self):
+        recorder = LatencyRecorder()
+        line = recorder.log_line("batch_get", 1.23456)
+        assert line == ('{"duration_ms": 1.235, '
+                        '"request_class": "batch_get"}')
+        assert json.loads(line)["request_class"] == "batch_get"
+
+    def test_shard_round_robin(self):
+        items = list("abcde")
+        shards = shard_round_robin(items, 2)
+        assert shards == [["a", "c", "e"], ["b", "d"]]
+        # more shards than items: empties are dropped, nothing lost
+        assert shard_round_robin(items, 9) == [[c] for c in items]
+        with pytest.raises(ValueError):
+            shard_round_robin(items, 0)
+
+
+class TestGCPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GCPolicy(max_entries=0)
+        with pytest.raises(ValueError):
+            GCPolicy(max_age_puts=0)
+        with pytest.raises(ValueError):
+            GCPolicy(compact_after_shards=0)
+
+    def test_size_bound_evicts_oldest_generation_first(self):
+        policy = GCPolicy(max_entries=2)
+        generations = {"a": 3, "b": 1, "c": 2, "d": 1}
+        # two in excess: generation-1 records go, ties in key order
+        assert policy.evictions(generations, 3) == ["b", "d"]
+
+    def test_age_bound_is_in_put_generations(self):
+        policy = GCPolicy(max_age_puts=2)
+        generations = {"old": 1, "mid": 3, "new": 5}
+        assert policy.evictions(generations, 5) == ["old"]
+        assert policy.evictions(generations, 3) == []
+
+    def test_eviction_order_is_deterministic(self):
+        policy = GCPolicy(max_entries=1, max_age_puts=4)
+        generations = {"e": 2, "a": 2, "c": 1, "b": 7, "d": 6}
+        first = policy.evictions(dict(generations), 7)
+        second = policy.evictions(dict(reversed(generations.items())), 7)
+        assert first == second == ["c", "a", "e", "d"]
+
+    def test_unbounded_policy_never_evicts(self):
+        assert GCPolicy().evictions({"a": 1, "b": 900}, 10 ** 6) == []
+
+
+# ----------------------------------------------------------------------
+# wire protocol against a live server
+# ----------------------------------------------------------------------
+
+class TestWireProtocol:
+    def test_put_get_round_trip(self, client):
+        record = {"total_s": 0.125, "mode": "best"}
+        assert client.put_record("k1", record) == 1
+        assert client.get_record("k1") == (True, record)
+        assert client.get_record("missing") == (False, None)
+
+    def test_null_record_memoizes_infeasible(self, client):
+        client.put_record("dead", None)
+        assert client.get_record("dead") == (True, None)
+
+    def test_batch_round_trip(self, client):
+        records = {"a": {"x": 1}, "b": None, "c": {"x": 3}}
+        assert client.batch_put(records) == 3
+        assert client.batch_get(["a", "b", "nope"]) == \
+            {"a": {"x": 1}, "b": None}
+        stats = client.stats()
+        assert stats["entries"] == 3
+        assert stats["generation"] == 1
+
+    def test_schema_skew_is_miss_and_noop_never_error(self, server,
+                                                      client):
+        client.put_record("k", {"x": 1})
+        stale = RemoteStoreClient(server.url, retry=FAST_RETRY,
+                                  clock=NullClock(),
+                                  schema_version=SCHEMA_VERSION + 1)
+        # reads miss, writes are ignored, nothing raises
+        assert stale.get_record("k") == (False, None)
+        assert stale.batch_get(["k"]) == {}
+        assert stale.load() == {}
+        assert stale.put_record("k2", {"x": 2}) == 0
+        assert client.stats()["entries"] == 1
+
+    def test_put_survives_server_restart(self, tmp_path):
+        with MemoServer(tmp_path / "store") as srv:
+            RemoteStoreClient(srv.url).put_record("k", {"x": 1})
+        with MemoServer(tmp_path / "store") as srv:
+            reborn = RemoteStoreClient(srv.url)
+            assert reborn.get_record("k") == (True, {"x": 1})
+
+    def test_healthz_and_stats_answer_get(self, server):
+        for path, key in (("/healthz", "ok"), ("/stats", "entries")):
+            with urllib.request.urlopen(server.url + path) as response:
+                body = json.loads(response.read())
+            assert key in body
+            assert body["protocol"] == 1
+
+    def test_stats_reports_latency_per_request_class(self, client):
+        client.put_record("k", {"x": 1})
+        client.get_record("k")
+        requests = client.stats()["requests"]
+        assert requests["put"]["count"] == 1
+        assert requests["get"]["count"] == 1
+        assert requests["get"]["p50_ms"] <= requests["get"]["p99_ms"]
+
+    def test_concurrent_clients_interleave_safely(self, server):
+        errors = []
+
+        def worker(index: int) -> None:
+            try:
+                mine = RemoteStoreClient(server.url)
+                keys = [f"w{index}-{i}" for i in range(8)]
+                mine.batch_put({k: {"n": i}
+                                for i, k in enumerate(keys)})
+                for i, key in enumerate(keys):
+                    assert mine.get_record(key) == (True, {"n": i})
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        client = RemoteStoreClient(server.url)
+        assert client.stats()["entries"] == 48
+        assert len(client.batch_get([f"w{i}-{j}" for i in range(6)
+                                     for j in range(8)])) == 48
+
+
+# ----------------------------------------------------------------------
+# error taxonomy
+# ----------------------------------------------------------------------
+
+class TestErrorTaxonomy:
+    def test_bad_request_is_protocol_error_not_retried(self, client):
+        with pytest.raises(ServeProtocolError, match="HTTP 400"):
+            client.post("/get", {"key": 5})
+        assert client.clock.slept == []  # 4xx never retries
+
+    def test_unknown_route_is_protocol_error(self, client):
+        with pytest.raises(ServeProtocolError, match="HTTP 404"):
+            client.post("/no-such-route", {})
+
+    def test_protocol_version_skew_raises_immediately(self, client,
+                                                      monkeypatch):
+        monkeypatch.setattr("repro.serve.client.PROTOCOL_VERSION", 99)
+        with pytest.raises(ServeProtocolError, match="protocol"):
+            client.stats()
+        assert client.clock.slept == []
+
+    def test_unreachable_server_retries_then_raises(self):
+        clock = NullClock()
+        dead = RemoteStoreClient("http://127.0.0.1:1",
+                                 retry=RetryPolicy(max_attempts=3),
+                                 clock=clock, timeout_s=0.5)
+        with pytest.raises(OSError):
+            dead.get_record("k")
+        # attempts 2 and 3 each waited on the deterministic schedule
+        assert len(clock.slept) == 2
+        assert clock.slept == sorted(clock.slept)
+
+    def test_rejects_non_url(self):
+        with pytest.raises(ValueError, match="http"):
+            RemoteStoreClient("results/planstore")
+
+
+# ----------------------------------------------------------------------
+# the PlanStoreLike surface and sweep integration
+# ----------------------------------------------------------------------
+
+class TestSweepIntegration:
+    def test_client_satisfies_planstorelike(self, client):
+        assert isinstance(client, PlanStoreLike)
+
+    def test_remote_warm_run_is_zero_miss_and_byte_identical(
+            self, tmp_path, grid):
+        disk_dir = tmp_path / "disk"
+        with MemoServer(tmp_path / "served") as srv:
+            _cold()
+            cold = ScenarioSweep(grid, store_path=srv.url).run()
+            assert cold.cache_stats.misses > 0
+            _cold()
+            warm = ScenarioSweep(grid, store_path=srv.url).run()
+            assert warm.cache_stats.misses == 0
+            assert warm.cache_stats.store_hits > 0
+            assert warm.rows_json() == cold.rows_json()
+            _cold()
+            disk = ScenarioSweep(grid, store_path=disk_dir).run()
+            assert disk.rows_json() == cold.rows_json()
+        # the records the server persisted are byte-equal to the disk
+        # store's: one contract, two transports
+        assert PlanStore(tmp_path / "served").load_records() \
+            == PlanStore(disk_dir).load_records()
+
+    def test_corrupt_server_shard_is_a_miss_never_an_error(
+            self, tmp_path, grid):
+        store_dir = tmp_path / "store"
+        _cold()
+        ScenarioSweep(grid, store_path=store_dir).run()
+        shards = sorted(store_dir.glob("plans-*.json"))
+        shards[0].write_text("{ not json")
+        stale = json.loads(shards[1].read_text()) \
+            if len(shards) > 1 else None
+        if stale is not None:
+            stale["schema"] = SCHEMA_VERSION + 1
+            shards[1].write_text(json.dumps(stale))
+        with MemoServer(store_dir) as srv:
+            client = RemoteStoreClient(srv.url)
+            reasons = sorted(item["reason"]
+                             for item in client.skipped_manifest())
+            assert reasons[0] == "corrupt"
+            if stale is not None:
+                assert "schema" in reasons
+            # the sweep still warm-starts from whatever survived, and
+            # surfaces the loss in the summary
+            _cold()
+            result = ScenarioSweep(grid, store_path=srv.url).run()
+            assert [item["reason"] for item in result.store_skipped] \
+                == reasons
+            assert result.rows_json()
+
+    def test_server_side_gc_is_deterministic(self, tmp_path):
+        def feed(path):
+            policy = GCPolicy(max_entries=3, compact_after_shards=2)
+            with MemoServer(path, gc_policy=policy) as srv:
+                client = RemoteStoreClient(srv.url)
+                for i in range(6):
+                    client.put_record(f"k{i}", {"n": i})
+                stats = client.stats()
+                return (sorted(client.batch_get(
+                            [f"k{i}" for i in range(6)])),
+                        stats["gc"]["evicted"],
+                        stats["gc"]["compactions"])
+
+        first = feed(tmp_path / "a")
+        second = feed(tmp_path / "b")
+        assert first == second
+        survivors, evicted, compactions = first
+        assert survivors == ["k3", "k4", "k5"]  # oldest puts evicted
+        assert evicted == 3
+        assert compactions >= 1
+        # compaction rewrote the directory down to the live table
+        assert len(PlanStore(tmp_path / "a").load_records()) == 3
+
+    def test_forced_compact_merges_shards(self, tmp_path, client,
+                                          server):
+        for i in range(4):
+            client.put_record(f"k{i}", {"n": i})
+        report = client.compact()
+        assert report["entries"] == 4
+        assert report["shards"] == 1
+        assert client.batch_get([f"k{i}" for i in range(4)]) \
+            == {f"k{i}": {"n": i} for i in range(4)}
+
+
+class TestDispatch:
+    def test_two_workers_merge_byte_identical_to_serial(self, tmp_path):
+        grid = scenario_grid(tolerances=(1.0, 1.05, 1.2))
+        _cold()
+        serial = ScenarioSweep(grid).run()
+        with MemoServer(tmp_path / "a") as worker_a, \
+                MemoServer(tmp_path / "b") as worker_b:
+            _cold()
+            distributed = dispatch_sweep(
+                grid, [worker_a.url, worker_b.url])
+            assert distributed.rows_json() == serial.rows_json()
+            assert distributed.workers == 2
+            assert distributed.parallel
+            served = worker_a.latency.report()
+            assert served["sweep"]["count"] == 1
+
+    def test_dead_worker_quarantines_only_its_shard(self, tmp_path):
+        grid = scenario_grid(tolerances=(1.0, 1.05))
+        with MemoServer(tmp_path / "a") as live:
+            _cold()
+            result = dispatch_sweep(
+                grid, [live.url, "http://127.0.0.1:1"], strict=False,
+                retry=FAST_RETRY, clock=NullClock(), timeout_s=0.5)
+        # worker 0's shard (grid[0::2]) survived; worker 1's is reported
+        assert [row["key"] for row in result.rows] == [grid[0].key]
+        assert [f.key for f in result.failures] == [grid[1].key]
+        assert all(f.attempts == FAST_RETRY.max_attempts
+                   for f in result.failures)
+
+    def test_strict_dispatch_raises_on_lost_shard(self, tmp_path):
+        from repro.sweep.resilience import SweepQuarantineError
+        grid = scenario_grid(tolerances=(1.0, 1.05))
+        with MemoServer(tmp_path / "a") as live:
+            _cold()
+            with pytest.raises(SweepQuarantineError):
+                dispatch_sweep(grid, [live.url, "http://127.0.0.1:1"],
+                               retry=FAST_RETRY, clock=NullClock(),
+                               timeout_s=0.5)
+
+    def test_requires_a_worker(self, grid):
+        with pytest.raises(ValueError):
+            dispatch_sweep(grid, [])
