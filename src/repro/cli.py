@@ -425,8 +425,8 @@ def _run_sweep(argv: list[str]) -> int:
         except Exception as exc:
             print(f"memo server {url}: stats unavailable ({exc})")
             continue
-        print(f"memo server {url}: {stats['entries']} entries, "
-              f"generation {stats['generation']}")
+        print(f"memo server {url}: {stats.get('entries', '?')} entries, "
+              f"generation {stats.get('generation', '?')}")
         print(render_latency_report(stats.get("requests", {})))
     if result.failures:
         print(f"quarantined {len(result.failures)} scenario(s):")

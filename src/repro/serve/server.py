@@ -24,6 +24,13 @@ Design points, all inherited from the plan store rather than invented:
   ties in key order.  Compaction rewrites the store directory to one
   shard minus the evicted records; invalid files are left in place for
   inspection, as ``PlanStore.compact`` leaves them.
+* **Out-of-band shards are absorbed, never lost.**  ``/sweep`` pricing
+  flushes this process's plan cache straight to the backing directory
+  (and a co-hosted worker may flush there too); those shards never pass
+  through a put route.  Before any eviction or compaction the server
+  folds unseen shard files into the live table, so a rewrite can only
+  ever remove records the GC policy doomed — and the get routes serve
+  absorbed keys like any other.
 
 Request handling serializes on one lock (the table is a dict; requests
 are small), while the ``ThreadingHTTPServer`` keeps slow readers from
@@ -108,10 +115,18 @@ class MemoServer:
         #: key hash -> raw JSON record (None = memoized-infeasible).
         self.records: dict[str, Optional[dict]] = \
             self.store.load_records()
-        #: shard files the startup load skipped, as the manifest the
-        #: ``/stats`` route serves (a fresh probe would hide them once
-        #: compaction rewrites the directory).
-        self.load_skipped: list[dict] = self.store.skipped_manifest()
+        #: shard name -> skip reason, for every file the startup load
+        #: (or a later absorption) refused.  These are the files
+        #: compaction must leave in place for inspection, and the
+        #: manifest the ``/stats`` route serves.
+        self._skipped: dict[str, str] = {
+            shard.name: reason
+            for shard, reason in self.store.skipped_files}
+        #: shard files already folded into the table (or skipped).
+        #: Shards are immutable and content-addressed, so each file
+        #: needs examining at most once.
+        self._absorbed: set[str] = {
+            shard.name for shard in self.store.shard_files()}
         #: put generation each key was last written in (0 = startup).
         self.generations: dict[str, int] = dict.fromkeys(self.records, 0)
         self.generation = 0
@@ -127,6 +142,16 @@ class MemoServer:
         self._thread: threading.Thread | None = None
 
     # -- lifecycle -----------------------------------------------------
+
+    @property
+    def load_skipped(self) -> list[dict]:
+        """Skipped-shard manifest: ``[{"file", "reason"}, ...]``, sorted.
+
+        Same shape as ``PlanStore.skipped_manifest``; covers files the
+        startup load skipped plus any absorbed later and found bad.
+        """
+        return [{"file": name, "reason": reason}
+                for name, reason in sorted(self._skipped.items())]
 
     @property
     def url(self) -> str:
@@ -245,7 +270,10 @@ class MemoServer:
             for key in sorted(records):
                 self.records[key] = records[key]
                 self.generations[key] = self.generation
-            self.store.flush_records(records)
+            flushed = self.store.flush_records(records)
+            if flushed is not None:
+                # this shard's entries are the table's; never re-read it
+                self._absorbed.add(flushed.name)
             evicted = self._collect_locked()
         return {"stored": len(records), "evicted": evicted}
 
@@ -255,7 +283,7 @@ class MemoServer:
             generation = self.generation
             evicted = self.evicted_total
             compactions = self.compactions
-            skipped = list(self.load_skipped)
+            skipped = self.load_skipped
         return {
             "entries": entries,
             "generation": generation,
@@ -282,11 +310,14 @@ class MemoServer:
     def _collect_locked(self, force: bool = False) -> int:
         """Apply the GC policy; compact when due.  Caller holds the lock.
 
-        Returns the number of records evicted.  Compaction happens when
-        forced (``/compact``), when anything was evicted (the doomed
-        records must leave the disk too, not just the table), or when
-        the shard-file count crosses the policy threshold.
+        Returns the number of records evicted.  Out-of-band shards are
+        absorbed into the table *first*, so eviction is the only way a
+        persisted record ever leaves.  Compaction happens when forced
+        (``/compact``), when anything was evicted (the doomed records
+        must leave the disk too, not just the table), or when the
+        shard-file count crosses the policy threshold.
         """
+        self._absorb_locked()
         doomed = self.gc_policy.evictions(self.generations,
                                           self.generation)
         for key in doomed:
@@ -299,22 +330,64 @@ class MemoServer:
             self._compact_locked()
         return len(doomed)
 
+    def _absorb_locked(self) -> int:
+        """Fold shards written outside the put routes into the table.
+
+        ``/sweep`` pricing flushes the plan cache straight to the
+        backing directory, and a co-hosted worker may flush there too;
+        those shards never pass through :meth:`_accept`.  Reading them
+        into the table (at the current generation) lets the get routes
+        serve their keys and keeps compaction from discarding them.
+        Corrupt/foreign files get the load's tolerance — skipped into
+        the ``/stats`` manifest, never an error — and are thereafter
+        protected from compaction's unlink pass.  Caller holds the
+        lock; returns the number of records absorbed.
+        """
+        absorbed = 0
+        for shard in self.store.shard_files():
+            if shard.name in self._absorbed:
+                continue
+            self._absorbed.add(shard.name)
+            try:
+                payload = json.loads(shard.read_text())
+            except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+                self._skipped[shard.name] = "corrupt"
+                continue
+            if (not isinstance(payload, dict)
+                    or payload.get("schema") != self.store.schema_version
+                    or not isinstance(payload.get("entries"), dict)):
+                self._skipped[shard.name] = "schema"
+                continue
+            for key, record in payload["entries"].items():
+                if key not in self.records:
+                    self.records[key] = record
+                    self.generations[key] = self.generation
+                    absorbed += 1
+        return absorbed
+
     def _compact_locked(self) -> None:
         """Rewrite the store directory to exactly the live table.
 
         The merged shard lands atomically before the sources are
-        removed; files the startup load skipped as corrupt/stale are
-        left in place for inspection (the ``PlanStore.compact``
-        convention).
+        removed; files skipped as corrupt/stale (at startup or during
+        absorption) are left in place for inspection — the
+        ``PlanStore.compact`` convention — so the ``/stats`` manifest
+        keeps naming files that actually exist.
         """
         sources = self.store.shard_files()
         merged = self.store.flush_records(self.records)
         for shard in sources:
-            if shard != merged:
+            if shard != merged and shard.name not in self._skipped:
                 try:
                     shard.unlink()
                 except OSError:  # pragma: no cover - concurrent unlink
                     pass
+        # Only the merged shard and the skipped files are known to
+        # remain; anything landing concurrently must stay unabsorbed so
+        # the next collection folds it in.
+        self._absorbed = set(self._skipped)
+        if merged is not None:
+            self._absorbed.add(merged.name)
         self.compactions += 1
 
     # -- distributed dispatch ------------------------------------------
@@ -363,6 +436,12 @@ class MemoServer:
                     _stats_dict(layer_cost_cache_stats() - layer_before),
             })
         get_plan_cache().flush_to_store()
+        # The flush above writes shards to the backing directory without
+        # passing through a put route; fold them into the live table so
+        # get/batch_get serve them and compaction keeps them (GC policy
+        # still applies, same as any put).
+        with self._lock:
+            self._collect_locked()
         return {"outcomes": outcomes, "failures": failures}
 
     # -- timing --------------------------------------------------------
@@ -399,8 +478,13 @@ def _make_handler(server: MemoServer):
 
         def do_POST(self) -> None:
             started = time.perf_counter()
-            length = int(self.headers.get("Content-Length") or 0)
-            raw = self.rfile.read(length) if length else b"{}"
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+            except ValueError:
+                self._reply(400, error_body(
+                    "bad_request", "malformed Content-Length header"))
+                return
+            raw = self.rfile.read(length) if length > 0 else b"{}"
             try:
                 payload = json.loads(raw.decode("utf-8")) if raw else {}
             except (UnicodeDecodeError, json.JSONDecodeError):

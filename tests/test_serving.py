@@ -1,6 +1,7 @@
 """Tests for the serving layer: memo server, remote client, dispatch."""
 
 import json
+import socket
 import threading
 import urllib.request
 
@@ -239,6 +240,20 @@ class TestErrorTaxonomy:
         with pytest.raises(ValueError, match="http"):
             RemoteStoreClient("results/planstore")
 
+    def test_malformed_content_length_is_bad_request(self, server):
+        host, port = server._httpd.server_address[:2]
+        with socket.create_connection((host, port), timeout=5.0) as sock:
+            sock.sendall(b"POST /stats HTTP/1.1\r\n"
+                         b"Host: test\r\n"
+                         b"Content-Length: banana\r\n"
+                         b"Connection: close\r\n\r\n")
+            response = b""
+            while chunk := sock.recv(4096):
+                response += chunk
+        status_line = response.split(b"\r\n", 1)[0]
+        assert b"400" in status_line
+        assert b"bad_request" in response
+
 
 # ----------------------------------------------------------------------
 # the PlanStoreLike surface and sweep integration
@@ -327,6 +342,65 @@ class TestSweepIntegration:
         assert report["shards"] == 1
         assert client.batch_get([f"k{i}" for i in range(4)]) \
             == {f"k{i}": {"n": i} for i in range(4)}
+
+    def test_compaction_preserves_skipped_shards(self, tmp_path):
+        store_dir = tmp_path / "store"
+        store_dir.mkdir()
+        corrupt = store_dir / "plans-00000000.json"
+        corrupt.write_text("{ not json")
+        foreign = store_dir / "plans-11111111.json"
+        foreign.write_text(json.dumps(
+            {"schema": SCHEMA_VERSION + 1, "entries": {"f": {"x": 9}}}))
+        policy = GCPolicy(max_entries=2, compact_after_shards=2)
+        with MemoServer(store_dir, gc_policy=policy) as srv:
+            client = RemoteStoreClient(srv.url)
+            # a bad shard can also land mid-run (e.g. a torn foreign
+            # write); absorption must skip it, not crash or lose it
+            late = store_dir / "plans-22222222.json"
+            late.write_text("truncated")
+            for i in range(4):  # crosses both GC-compaction triggers
+                client.put_record(f"k{i}", {"n": i})
+            client.compact()  # and the forced path
+            assert client.stats()["gc"]["compactions"] >= 1
+            manifest = client.skipped_manifest()
+            assert {item["file"] for item in manifest} \
+                == {corrupt.name, foreign.name, late.name}
+            # every advertised file survived every compaction
+            assert all((store_dir / item["file"]).exists()
+                       for item in manifest)
+        # a restart re-skips the same files and still has the live table
+        with MemoServer(store_dir) as srv:
+            reborn = RemoteStoreClient(srv.url)
+            assert sorted(item["reason"]
+                          for item in reborn.skipped_manifest()) \
+                == ["corrupt", "corrupt", "schema"]
+            assert reborn.get_record("k3") == (True, {"n": 3})
+
+    def test_sweep_flushed_plans_enter_the_live_table(self, tmp_path,
+                                                      grid):
+        from repro.core import get_plan_cache
+        from repro.sweep.runner import _attach_store
+        store_dir = tmp_path / "store"
+        with MemoServer(store_dir) as srv:
+            _cold()
+            # the `chiplet-npu serve` setup: this process's plan cache
+            # flushes straight to the served directory, bypassing the
+            # put routes
+            get_plan_cache().detach_store()
+            _attach_store(store_dir)
+            try:
+                dispatch_sweep(grid, [srv.url])
+            finally:
+                get_plan_cache().detach_store()
+            client = RemoteStoreClient(srv.url)
+            entries = client.stats()["entries"]
+            assert entries > 0
+            # the get routes serve the flushed plans without a restart
+            served = client.post("/batch_get", {"all": True})["records"]
+            assert len(served) == entries
+            # and compaction keeps them instead of unlinking their shards
+            assert client.compact()["entries"] == entries
+        assert len(PlanStore(store_dir).load_records()) == entries
 
 
 class TestDispatch:
