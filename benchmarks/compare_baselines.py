@@ -79,6 +79,15 @@ CHECKS: dict[str, list[Gate]] = {
         Gate("grid_scenarios", "exact"),
         Gate("speedup", "min_ratio", 0.4),
     ],
+    "BENCH_design.json": [
+        Gate("candidates", "exact"),
+        Gate("frontier", "exact"),
+        Gate("materialized", "exact"),
+        Gate("materialized_fraction", "exact"),
+        Gate("priced_pairs", "exact"),
+        Gate("frontier_byte_identical", "exact"),
+        Gate("warm_plan_cache.misses", "exact"),
+    ],
     "BENCH_pricing.json": [
         Gate("rows_byte_identical", "exact"),
         Gate("pairs", "exact"),

@@ -4,6 +4,8 @@ from .affinity import FIG4_BLOCKS, LayerAffinity, affinity_blocks, \
     layer_affinity
 from .breakdown import ComponentCost, component_breakdown, \
     fusion_latency_share
+from .frontier import design_frontier_report, design_frontier_rows, \
+    design_frontier_table
 from .layer_table import layer_cost_table, to_csv
 from .scaling import camera_sweep, chiplet_scaling_report, \
     chiplet_scaling_rows, frame_queue_sweep, resolution_sweep
@@ -16,6 +18,9 @@ __all__ = [
     "camera_sweep",
     "frame_queue_sweep",
     "resolution_sweep",
+    "design_frontier_report",
+    "design_frontier_rows",
+    "design_frontier_table",
     "FIG4_BLOCKS",
     "LayerAffinity",
     "affinity_blocks",

@@ -23,11 +23,14 @@ separates axis values on the CLI)::
 
     HETERO  := QTOKEN ('+' QTOKEN)*
     QTOKEN  := QUADRANT ':' SPEC
-    SPEC    := [DATAFLOW] ['@' GHZ] ['/' ROWSxCOLS]    # >= 1 component
+    SPEC    := [DATAFLOW] ['@' GHZ] ['/' ROWSxCOLS] ['#' COUNT]
+               # >= 1 hardware component (dataflow, clock, or tile)
 
 Examples: ``trunk:ws`` (weight-stationary trunk quadrant),
 ``trunk:ws@1.2`` (WS at 1.2 GHz), ``temporal:@1.5`` (clock only),
-``fe:/8x8`` (tile only), ``trunk:ws+temporal:@1.5`` (two quadrants).
+``fe:/8x8`` (tile only), ``trunk:ws+temporal:@1.5`` (two quadrants),
+``trunk:ws#4`` (the paper's Het(4): only four trunk chiplets per module
+group rewritten, corner-farthest-first, the rest keep the base config).
 ``parse`` canonicalizes (quadrants in :data:`QUADRANT_NAMES` order,
 ``%g`` frequencies), so equivalent spellings key sweeps identically.
 """
@@ -59,21 +62,25 @@ QUADRANT_NAMES = ("fe", "spatial", "temporal", "trunk")
 class QuadrantOverride:
     """Hardware overrides for one quadrant's chiplets.
 
-    Every field defaults to ``None`` = keep the package-wide value; at
-    least one must be set (a fully-empty override is a parse error, not
-    a silent no-op).
+    Every hardware field defaults to ``None`` = keep the package-wide
+    value; at least one must be set (a fully-empty override is a parse
+    error, not a silent no-op).  ``count`` limits the override to the
+    first ``count`` cells of :func:`hetero_cells`'s deterministic order
+    — the paper's partial Het(k) embeddings — and is a modifier, not a
+    hardware component on its own.
     """
 
     dataflow: str | None = None
     frequency_ghz: float | None = None
     native_tile: tuple[int, int] | None = None
+    count: int | None = None
 
     def __post_init__(self) -> None:
         if self.dataflow is None and self.frequency_ghz is None \
                 and self.native_tile is None:
             raise ValueError(
                 "empty quadrant override: give a dataflow, @GHZ, "
-                "and/or /ROWSxCOLS")
+                "and/or /ROWSxCOLS (#COUNT alone overrides nothing)")
         if self.dataflow is not None and self.dataflow not in DATAFLOW_STYLES:
             raise ValueError(
                 f"unknown dataflow {self.dataflow!r}; valid dataflows: "
@@ -88,15 +95,22 @@ class QuadrantOverride:
                     f"quadrant native_tile must be two positive integers "
                     f"(rows, cols); got {tile!r}")
             object.__setattr__(self, "native_tile", tuple(tile))
+        if self.count is not None and (
+                not isinstance(self.count, int) or self.count < 1):
+            raise ValueError(
+                f"quadrant #COUNT must be a positive integer; "
+                f"got {self.count!r}")
 
     @property
     def token(self) -> str:
-        """Canonical SPEC fragment (``ws@1.2/8x8`` form)."""
+        """Canonical SPEC fragment (``ws@1.2/8x8#4`` form)."""
         out = self.dataflow or ""
         if self.frequency_ghz is not None:
             out += f"@{self.frequency_ghz:g}"
         if self.native_tile is not None:
             out += f"/{self.native_tile[0]}x{self.native_tile[1]}"
+        if self.count is not None:
+            out += f"#{self.count}"
         return out
 
     def apply(self, base: AcceleratorConfig) -> AcceleratorConfig:
@@ -143,6 +157,14 @@ def _parse_quadrant_token(token: str) -> tuple[str, QuadrantOverride]:
             f"unknown quadrant {quad!r} in {token!r}; valid quadrants: "
             f"{', '.join(QUADRANT_NAMES)}")
     spec = spec.strip().lower()
+    spec, cnt_sep, cnt_text = spec.partition("#")
+    count = None
+    if cnt_sep:
+        if not cnt_text.strip().isdigit():
+            raise ValueError(
+                f"bad count {cnt_text!r} in {token!r}: expected #COUNT, "
+                f"e.g. trunk:ws#4")
+        count = int(cnt_text)
     rest, tile_sep, tile_text = spec.partition("/")
     df_text, ghz_sep, ghz_text = rest.partition("@")
     ghz = None
@@ -156,7 +178,8 @@ def _parse_quadrant_token(token: str) -> tuple[str, QuadrantOverride]:
     tile = _parse_tile(tile_text, token) if tile_sep else None
     try:
         override = QuadrantOverride(dataflow=df_text.strip() or None,
-                                    frequency_ghz=ghz, native_tile=tile)
+                                    frequency_ghz=ghz, native_tile=tile,
+                                    count=count)
     except ValueError as exc:
         raise ValueError(
             f"{exc} (quadrant {quad!r} in {token!r})") from None
@@ -213,10 +236,22 @@ class QuadrantOverrides:
 
     def apply(self, package: MCMPackage) -> MCMPackage:
         """Materialize the spec: a copy of ``package`` with every named
-        quadrant's chiplets rewritten through ``with_overrides``."""
+        quadrant's chiplets rewritten through ``with_overrides``.
+
+        Partial overrides (``#COUNT``) rewrite only the selected cells;
+        a count exceeding the quadrant's capacity is an error here — the
+        first point the package geometry is known — rather than a silent
+        whole-quadrant override.
+        """
         accel_of: dict[int, AcceleratorConfig] = {}
         for name, override in self.overrides:
-            for cell in hetero_cells(package, quadrant_ids(name, package)):
+            ids = quadrant_ids(name, package)
+            cells = hetero_cells(package, ids)
+            if override.count is not None and override.count > len(cells):
+                raise ValueError(
+                    f"quadrant {name!r} has {len(cells)} chiplet(s); "
+                    f"#{override.count} exceeds it")
+            for cell in hetero_cells(package, ids, override.count):
                 accel_of[cell.chiplet_id] = override.apply(cell.accel)
         return package.with_accels(accel_of, suffix=f"+het({self.token})")
 

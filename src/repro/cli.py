@@ -52,6 +52,19 @@ output stays byte-identical to a cold full run::
 
     chiplet-npu sweep --nop-gbps 25,50,200 --delta-from results/journal
 
+``design`` closes the DSE loop (see ``docs/DESIGN.md``): declare a
+joint package-design space over the same axes (including partial
+Het(k) quadrant tokens like ``trunk:ws#4``), rank every candidate with
+one batch pricing request, prune against latency/energy targets, and
+materialize only the Pareto frontier into full sweep rows — the
+frontier report is byte-identical across workers and store
+temperature::
+
+    chiplet-npu design --dataflows os,ws --frequencies-ghz 1.0,2.0 \\
+        --hetero none,trunk:ws#4 --target-pipe-ms 40
+    chiplet-npu design --npus 1,2 --dram-gbps none,6 --max-energy-j 2 \\
+        --store results/planstore --json --output results/frontier.json
+
 The chiplet-count scaling report (``report scaling``) sweeps
 ``npus x workload x dram_gbps`` through the same engine and emits the
 scaling table/figure::
@@ -127,9 +140,9 @@ def _sweep_parser() -> argparse.ArgumentParser:
     parser.add_argument("--hetero", default="none",
                         help="comma-separated per-quadrant hardware "
                              "override tokens (QUAD:DATAFLOW[@GHZ]"
-                             "[/ROWSxCOLS] joined by '+', e.g. "
-                             "trunk:ws@1.2+temporal:@1.5; 'none' = "
-                             "homogeneous package)")
+                             "[/ROWSxCOLS][#COUNT] joined by '+', e.g. "
+                             "trunk:ws@1.2+temporal:@1.5 or trunk:ws#4; "
+                             "'none' = homogeneous package)")
     parser.add_argument("--axis", action="append", default=[],
                         metavar="NAME=VALUES",
                         help="extra axis by canonical name (e.g. "
@@ -579,6 +592,159 @@ def _run_scaling_report(argv: list[str]) -> int:
     return 0
 
 
+def _design_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="chiplet-npu design",
+        description="Joint package-design search: enumerate a declared "
+                    "axis space, rank every candidate through one batch "
+                    "pricing request, prune against latency/energy "
+                    "targets, and materialize only the Pareto frontier "
+                    "into full sweep rows (deterministic report; see "
+                    "docs/DESIGN.md).")
+    parser.add_argument("--tolerances", default="1.05",
+                        help="comma-separated tolerance coefficients")
+    parser.add_argument("--nop-gbps", default="none",
+                        help="comma-separated NoP bandwidths in GB/s "
+                             "('none' = default 100)")
+    parser.add_argument("--npus", default="1",
+                        help="comma-separated NPU module counts")
+    parser.add_argument("--workloads", default="default",
+                        help="comma-separated workload variant names")
+    parser.add_argument("--het-budgets", default="none",
+                        help="comma-separated WS chiplet budgets for the "
+                             "trunk DSE ('none' = skip)")
+    parser.add_argument("--dataflows", default="none",
+                        help="comma-separated chiplet dataflow styles "
+                             "(os/ws/rs; 'none' = os)")
+    parser.add_argument("--frequencies-ghz", default="none",
+                        help="comma-separated chiplet clocks in GHz "
+                             "('none' = 2 GHz)")
+    parser.add_argument("--native-tiles", default="none",
+                        help="comma-separated native dataflow tiles as "
+                             "ROWSxCOLS, e.g. 16x16 ('none' = 16x16)")
+    parser.add_argument("--dram-gbps", default="none",
+                        help="comma-separated package DRAM bandwidths in "
+                             "GB/s ('none' = compute-only steady state)")
+    parser.add_argument("--topologies", default="none",
+                        help="comma-separated NoP topologies (mesh, "
+                             "torus, or KIND-WxH grids like torus-8x8; "
+                             "'none' = the seed open mesh)")
+    parser.add_argument("--hetero", default="none",
+                        help="comma-separated per-quadrant hardware "
+                             "override tokens (QUAD:DATAFLOW[@GHZ]"
+                             "[/ROWSxCOLS][#COUNT] joined by '+', e.g. "
+                             "trunk:ws@1.2+temporal:@1.5 or trunk:ws#4; "
+                             "'none' = homogeneous package)")
+    parser.add_argument("--axis", action="append", default=[],
+                        metavar="NAME=VALUES",
+                        help="extra axis by canonical name (e.g. "
+                             "--axis native_tile=16x16,8x8); may repeat, "
+                             "overrides the dedicated flag for that axis")
+    parser.add_argument("--target-pipe-ms", type=float, default=None,
+                        metavar="MS",
+                        help="prune candidates whose proxy pipe latency "
+                             "exceeds this bound (the proxy is an "
+                             "optimistic bound, so no candidate that "
+                             "could meet the target is discarded)")
+    parser.add_argument("--max-energy-j", type=float, default=None,
+                        metavar="J",
+                        help="prune candidates whose proxy per-frame "
+                             "energy exceeds this bound")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the frontier "
+                             "materialization sweep (1 = serial; the "
+                             "proxy phase is one batch and never forks)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="directory of a shared disk-backed plan "
+                             "store warm-starting the frontier "
+                             "materialization (plans flush back)")
+    parser.add_argument("--store-url", default=None, metavar="URL",
+                        help="URL of a chiplet-npu memo server (see "
+                             "'chiplet-npu serve'): like --store, over "
+                             "the network")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the deterministic frontier JSON "
+                             "document instead of the table")
+    parser.add_argument("--output", default=None,
+                        help="also write the frontier JSON document to "
+                             "this file")
+    return parser
+
+
+def _run_design(argv: list[str]) -> int:
+    from .analysis import design_frontier_table
+    from .design import DesignSearch, DesignSpace, DesignTargets
+
+    parser = _design_parser()
+    args = parser.parse_args(argv)
+    if args.store is not None and args.store_url is not None:
+        parser.error("--store and --store-url name two different plan "
+                     "stores; pass one")
+    if args.store_url is not None:
+        from .serve import is_store_url
+        if not is_store_url(args.store_url):
+            parser.error(f"--store-url must start with http:// or "
+                         f"https://; got {args.store_url!r} "
+                         f"(for a directory store, use --store)")
+    store_path = args.store_url if args.store_url is not None \
+        else args.store
+    axis_texts = {
+        "tolerance": args.tolerances,
+        "nop_gbps": args.nop_gbps,
+        "npus": args.npus,
+        "workload": args.workloads,
+        "het_ws_budget": args.het_budgets,
+        "dataflow": args.dataflows,
+        "frequency_ghz": args.frequencies_ghz,
+        "native_tile": args.native_tiles,
+        "dram_gbps": args.dram_gbps,
+        "topology": args.topologies,
+        "hetero": args.hetero,
+    }
+    for item in args.axis:
+        name, sep, values = item.partition("=")
+        if not sep or not name or not values:
+            parser.error(f"--axis expects NAME=VALUES, got {item!r}")
+        axis_texts[name.strip()] = values
+    try:
+        space = DesignSpace.from_axis_texts(axis_texts)
+        targets = DesignTargets(pipe_ms=args.target_pipe_ms,
+                                energy_j=args.max_energy_j)
+        result = DesignSearch(space, targets=targets,
+                              workers=args.workers,
+                              store_path=store_path).run()
+    except (ValueError, KeyError) as exc:
+        parser.error(exc.args[0] if exc.args else str(exc))
+
+    # The frontier document is a pure function of the declared space and
+    # targets (search stats count work, never caches or clocks), so the
+    # emitted bytes are identical across serial/parallel runs and
+    # cold/warm stores.
+    report = result.report()
+    document = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        import pathlib
+        out = pathlib.Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(document + "\n")
+    if args.json:
+        print(document)
+        return 0
+    for line in design_frontier_table(report):
+        print(line)
+    if result.sweep is not None:
+        # Cache effectiveness prints beside the report, never inside it:
+        # hit/miss counts depend on store temperature, the frontier does
+        # not.
+        cache = result.sweep.summary()["plan_cache"]
+        print(f"plan cache: {cache['hits']} hits / "
+              f"{cache['misses']} misses "
+              f"({100 * cache['hit_rate']:.1f}% hit rate, "
+              f"{cache['entries']} entries, "
+              f"{cache['store_hits']} served from store)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "sweep":
@@ -602,6 +768,10 @@ def main(argv: list[str] | None = None) -> int:
         # parser (and the command blocks, so it never mixes with the
         # experiment runner).
         return _run_serve(argv[1:])
+    if argv and argv[0] == "design":
+        # Same pre-dispatch as `sweep`: design flags belong to the
+        # design parser.
+        return _run_design(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="chiplet-npu",
@@ -609,14 +779,16 @@ def main(argv: list[str] | None = None) -> int:
                     "(DATE 2025).")
     parser.add_argument(
         "experiment",
-        choices=sorted(ALL_EXPERIMENTS) + ["all", "lint", "report",
-                                           "serve", "sweep"],
+        choices=sorted(ALL_EXPERIMENTS) + ["all", "design", "lint",
+                                           "report", "serve", "sweep"],
         help="paper artifact to regenerate ('report' writes a full "
              "markdown reproduction report; 'sweep' runs a scenario "
-             "grid, see 'chiplet-npu sweep --help'; 'serve' runs the "
-             "networked plan-memo server, see 'chiplet-npu serve "
-             "--help'; 'lint' runs the repro-lint static analysis, see "
-             "'chiplet-npu lint --help')")
+             "grid, see 'chiplet-npu sweep --help'; 'design' searches a "
+             "declared design space for its Pareto frontier, see "
+             "'chiplet-npu design --help'; 'serve' runs the networked "
+             "plan-memo server, see 'chiplet-npu serve --help'; 'lint' "
+             "runs the repro-lint static analysis, see 'chiplet-npu "
+             "lint --help')")
     parser.add_argument(
         "--json", action="store_true",
         help="emit structured JSON instead of tables")
@@ -633,6 +805,12 @@ def main(argv: list[str] | None = None) -> int:
         if args.output:
             extra += ["--output", args.output]
         return _run_sweep(extra + rest)
+    if args.experiment == "design":
+        # Shared flags placed before the subcommand (--json design ...).
+        extra = ["--json"] if args.json else []
+        if args.output:
+            extra += ["--output", args.output]
+        return _run_design(extra + rest)
     if args.experiment == "report" and rest and rest[0] == "scaling":
         # Shared flags before the subcommand (--json report scaling ...).
         extra = ["--json"] if args.json else []

@@ -6,7 +6,7 @@ from .context import (
     lane_context_sweep,
     min_feasible_fraction,
 )
-from .dse import TrunkConfig, TrunkDSE
+from .dse import TrunkConfig, TrunkDSE, best_ranked
 from .hetero import HeterogeneousResult, schedule_heterogeneous
 from .placement import default_stage_quadrants, place
 from .plancache import (
@@ -39,6 +39,7 @@ __all__ = [
     "min_feasible_fraction",
     "TrunkConfig",
     "TrunkDSE",
+    "best_ranked",
     "HeterogeneousResult",
     "schedule_heterogeneous",
     "CacheStats",

@@ -19,11 +19,37 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from typing import Iterable, TypeVar
 
 from ..cost import AcceleratorConfig, nvdla_chiplet, shidiannao_chiplet
 from ..workloads.graph import Stage
 from ..workloads.trunks import build_trunks
 from .sharding import GroupPlan, plan_group
+
+_T = TypeVar("_T")
+
+
+def best_ranked(
+        candidates: Iterable[tuple[tuple | None, _T]],
+) -> tuple[tuple | None, _T | None]:
+    """First-seen minimum over ``(rank, payload)`` candidates.
+
+    The rank-then-materialize selection loop shared by the trunk DSE and
+    the package-design search (:mod:`repro.design`): candidates with a
+    ``None`` rank are unpriceable and skipped, ties keep the *first*
+    candidate seen (strict ``<``), and only the winning payload — never a
+    fully-evaluated object per candidate — flows back to the caller.
+    Returns ``(None, None)`` when nothing ranked.
+    """
+    best_rank: tuple | None = None
+    best_payload: _T | None = None
+    for rank, payload in candidates:
+        if rank is None:
+            continue
+        if best_rank is None or rank < best_rank:
+            best_rank = rank
+            best_payload = payload
+    return best_rank, best_payload
 
 
 @dataclass(frozen=True)
@@ -186,16 +212,10 @@ class TrunkDSE:
             raise ValueError("ws_budget out of range")
         label = label or (f"Het({ws_budget})" if 0 < ws_budget < self.chiplets
                           else ("WS" if ws_budget else "OS"))
-        best_rank: tuple | None = None
-        best_cand: tuple[dict, dict] | None = None
-        for counts in self._partitions():
-            for styles in self._styles(counts, ws_budget):
-                rank = self._rank(counts, styles)
-                if rank is None:
-                    continue
-                if best_rank is None or rank < best_rank:
-                    best_rank = rank
-                    best_cand = (counts, styles)
+        _, best_cand = best_ranked(
+            (self._rank(counts, styles), (counts, styles))
+            for counts in self._partitions()
+            for styles in self._styles(counts, ws_budget))
         if best_cand is None:
             raise RuntimeError("trunk DSE found no valid configuration")
         best = self._evaluate(*best_cand, label, ws_budget)

@@ -14,6 +14,7 @@ from .accelerator import (
 from .batch import (
     HAVE_NUMPY,
     PricingRequest,
+    builds_request,
     price_batch,
     price_chain,
     seed_pairs,
@@ -34,6 +35,7 @@ from .model import (
 __all__ = [
     "HAVE_NUMPY",
     "PricingRequest",
+    "builds_request",
     "price_batch",
     "price_chain",
     "seed_pairs",

@@ -165,6 +165,21 @@ def scenario_pairs(scenario: "Scenario", built=None) -> list[Pair]:
     return build_pairs(built, _trunk_accels(scenario))
 
 
+def builds_request(builds: Iterable) -> PricingRequest:
+    """One deduplicated request across many materialized scenarios.
+
+    The design-batch path (:mod:`repro.design`): callers that already
+    hold every candidate's ``ScenarioBuild`` collect the whole batch's
+    distinct pairs into a *single* request, so one :func:`price_batch`
+    call prices an entire design space — candidates sharing a workload
+    or chiplet config are priced once, not once per candidate.
+    """
+    pairs: list[Pair] = []
+    for built in builds:
+        pairs.extend(build_pairs(built, _trunk_accels(built.scenario)))
+    return PricingRequest.from_pairs(pairs)
+
+
 # ----------------------------------------------------------------------
 # Batch evaluation
 # ----------------------------------------------------------------------

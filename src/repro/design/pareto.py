@@ -1,0 +1,39 @@
+"""Pareto dominance over lower-is-better objective vectors.
+
+Plain O(n^2) set arithmetic — design spaces are hundreds of candidates,
+not millions — with the determinism rules the frontier report relies
+on: the frontier preserves input order (stable, first-seen), and a
+candidate whose objectives *tie* another's is not dominated by it
+(dominance needs a strict improvement somewhere), so exact duplicates
+all survive to the frontier rather than racing on enumeration order.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+Point = Sequence[float]
+
+
+def dominates(a: Point, b: Point) -> bool:
+    """Whether ``a`` Pareto-dominates ``b`` (every objective at least as
+    good, at least one strictly better; all objectives lower-is-better).
+    """
+    if len(a) != len(b):
+        raise ValueError(
+            f"objective vectors differ in length: {len(a)} vs {len(b)}")
+    return all(x <= y for x, y in zip(a, b)) and \
+        any(x < y for x, y in zip(a, b))
+
+
+def pareto_indices(points: Sequence[Point]) -> list[int]:
+    """Indices of the non-dominated points, in input order."""
+    return [i for i, p in enumerate(points)
+            if not any(dominates(q, p)
+                       for j, q in enumerate(points) if j != i)]
+
+
+def dominated_indices(points: Sequence[Point]) -> list[int]:
+    """Indices of the dominated points, in input order."""
+    frontier = set(pareto_indices(points))
+    return [i for i in range(len(points)) if i not in frontier]

@@ -1,0 +1,237 @@
+"""Rank-cheap / materialize-frontier package-design search.
+
+The search never runs the scheduler on a non-frontier candidate.  Every
+candidate package is priced through **one** batch
+:class:`~repro.cost.PricingRequest` (the whole space's distinct
+``(layer, accel)`` pairs, deduplicated), each candidate is scored with a
+closed-form per-stage roofline proxy over that matrix, target-violating
+candidates are pruned, and only the proxy-Pareto frontier is
+materialized into full sweep rows by the existing
+:class:`~repro.sweep.runner.ScenarioSweep` engine (plan-store warm
+starts included).  This is :func:`repro.core.dse.best_ranked`'s
+rank-then-materialize idiom lifted from trunk mappings to whole
+packages.
+
+Determinism: the proxy is a pure function of the batch matrix (whose
+numpy and scalar engines are exactly equal by contract), pruning and
+dominance are pure arithmetic, and materialized rows come from the
+sweep engine's pure ``run_scenario`` — so the frontier, and its report,
+are byte-identical across serial/parallel runs and across cold/warm
+plan stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from ..core.dse import best_ranked
+from ..core.placement import default_stage_quadrants
+from ..cost import builds_request, price_batch
+from ..sweep.runner import ScenarioSweep, SweepResult
+from ..sweep.scenario import Scenario, ScenarioBuild
+from .pareto import pareto_indices
+from .space import DesignSpace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cost.batch import Pair
+    from ..cost.model import LayerCost
+
+
+@dataclass(frozen=True)
+class DesignTargets:
+    """Feasibility targets a candidate's proxy must meet to survive.
+
+    ``None`` disables a target.  The proxy is an optimistic bound (see
+    :func:`proxy_objectives`), so pruning on it never discards a design
+    whose *materialized* metrics would have met the target.
+    """
+
+    pipe_ms: float | None = None
+    energy_j: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.pipe_ms is not None and self.pipe_ms <= 0:
+            raise ValueError("target pipe_ms must be positive")
+        if self.energy_j is not None and self.energy_j <= 0:
+            raise ValueError("target energy_j must be positive")
+
+    def admits(self, pipe_ms: float, energy_j: float) -> bool:
+        """Whether a candidate's proxy objectives meet every target."""
+        if self.pipe_ms is not None and pipe_ms > self.pipe_ms:
+            return False
+        if self.energy_j is not None and energy_j > self.energy_j:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class DesignCandidate:
+    """One enumerated design with its proxy score and search verdict."""
+
+    #: position in the space's canonical enumeration (stable identity).
+    index: int
+    scenario: Scenario
+    #: per-stage roofline bound on the steady-state pipe latency.
+    proxy_pipe_ms: float
+    #: per-frame energy bound (work spread evenly across stage cells).
+    proxy_energy_j: float
+    #: True when a :class:`DesignTargets` bound rejected the candidate.
+    pruned: bool
+
+
+def proxy_objectives(built: ScenarioBuild,
+                     costs: Mapping["Pair", "LayerCost"],
+                     ) -> tuple[float, float]:
+    """Closed-form ``(pipe_ms, energy_j)`` bound for one candidate.
+
+    Per stage (stages own their quadrants, Sec. IV): each chiplet of the
+    stage's quadrants processes the stage's layer chains at its own
+    batch-priced rate, combined harmonically — perfect work spreading,
+    so homogeneous quadrants reduce to ``serial_latency / n_chiplets``.
+    The pipe proxy is the slowest stage; the energy proxy charges each
+    stage its cell-averaged chain energy.  NoP transfers, DRAM
+    contention, and sharding overheads are deliberately absent: the
+    proxy is an *optimistic* bound used only to rank and prune, never a
+    reported metric — frontier candidates get real rows from the sweep
+    engine.
+    """
+    stage_quadrants = default_stage_quadrants(built.workload, built.package)
+    pipe_s = 0.0
+    energy_j = 0.0
+    for stage in built.workload.stages:
+        cells = [cell for q in stage_quadrants[stage.name]
+                 for cell in built.package.quadrant(q)]
+        latency_of: dict = {}
+        energy_of: dict = {}
+        for accel in dict.fromkeys(cell.accel for cell in cells):
+            serial_s = 0.0
+            serial_j = 0.0
+            for group in stage.groups:
+                chain_s = sum(costs[(layer, accel)].latency_s
+                              for layer in group.layers)
+                chain_j = sum(costs[(layer, accel)].energy_j
+                              for layer in group.layers)
+                serial_s += group.instances * chain_s
+                serial_j += group.instances * chain_j
+            latency_of[accel] = serial_s
+            energy_of[accel] = serial_j
+        rate = sum(1.0 / latency_of[cell.accel] for cell in cells)
+        stage_s = 1.0 / rate
+        stage_j = sum(energy_of[cell.accel] for cell in cells) / len(cells)
+        if stage_s > pipe_s:
+            pipe_s = stage_s
+        energy_j += stage_j
+    return pipe_s * 1e3, energy_j
+
+
+@dataclass
+class DesignSearchResult:
+    """Everything one :meth:`DesignSearch.run` produced.
+
+    ``candidates`` covers the whole space in enumeration order;
+    ``frontier`` is its non-pruned, non-dominated subset (same order);
+    ``rows`` are the frontier's materialized sweep rows, aligned with
+    ``frontier``.  ``sweep`` carries the materialization's cache/store
+    statistics — reported beside the frontier document, never inside it
+    (stats are machine-dependent; the document is not).
+    """
+
+    space: DesignSpace
+    targets: DesignTargets
+    candidates: list[DesignCandidate]
+    frontier: list[DesignCandidate]
+    rows: list[dict]
+    #: distinct (layer, accel) pairs the single batch request priced.
+    priced_pairs: int
+    #: materialization result (None when the frontier is empty).
+    sweep: SweepResult | None
+
+    @property
+    def best(self) -> dict | None:
+        """The frontier row with the lowest materialized EDP.
+
+        Ranked with :func:`repro.core.dse.best_ranked` —
+        ``(edp_j_ms, pipe_ms)`` with first-seen tie-break, the trunk
+        DSE's feasible-candidate ordering — over *real* rows, not proxy
+        scores.
+        """
+        _, row = best_ranked(
+            ((row["edp_j_ms"], row["pipe_ms"]), row) for row in self.rows)
+        return row
+
+    def stats(self) -> dict:
+        """Deterministic search accounting for the frontier report."""
+        pruned = sum(c.pruned for c in self.candidates)
+        dominated = len(self.candidates) - pruned - len(self.frontier)
+        return {
+            "candidates": len(self.candidates),
+            "pruned": pruned,
+            "dominated": dominated,
+            "frontier": len(self.frontier),
+            "materialized": len(self.rows),
+            "priced_pairs": self.priced_pairs,
+            "materialized_fraction": round(
+                len(self.rows) / len(self.candidates), 6),
+        }
+
+    def report(self) -> dict:
+        """The deterministic Pareto frontier document (see
+        :func:`repro.analysis.design_frontier_report`)."""
+        from ..analysis import design_frontier_report
+        return design_frontier_report(self)
+
+
+class DesignSearch:
+    """Search a :class:`DesignSpace` for its latency/energy frontier."""
+
+    def __init__(self,
+                 space: DesignSpace,
+                 targets: DesignTargets | None = None,
+                 workers: int = 1,
+                 store_path=None,
+                 engine: str = "auto"):
+        self.space = space
+        self.targets = targets or DesignTargets()
+        #: process count for the frontier materialization sweep (the
+        #: proxy phase is one closed-form batch and never forks).
+        self.workers = workers
+        #: plan store (directory path or ``http(s)://`` memo-server URL)
+        #: warm-starting the materialization, exactly as ``sweep`` mode.
+        self.store_path = store_path
+        self.engine = engine
+
+    def run(self) -> DesignSearchResult:
+        scenarios = self.space.candidates()
+        builds = [scenario.build() for scenario in scenarios]
+        request = builds_request(builds)
+        costs = price_batch(request, engine=self.engine)
+        candidates = []
+        for index, built in enumerate(builds):
+            pipe_ms, energy_j = proxy_objectives(built, costs)
+            candidates.append(DesignCandidate(
+                index=index,
+                scenario=built.scenario,
+                proxy_pipe_ms=pipe_ms,
+                proxy_energy_j=energy_j,
+                pruned=not self.targets.admits(pipe_ms, energy_j)))
+        kept = [c for c in candidates if not c.pruned]
+        frontier = [kept[i] for i in pareto_indices(
+            [(c.proxy_pipe_ms, c.proxy_energy_j) for c in kept])]
+        rows: list[dict] = []
+        sweep_result: SweepResult | None = None
+        if frontier:
+            sweep = ScenarioSweep([c.scenario for c in frontier],
+                                  workers=self.workers,
+                                  store_path=self.store_path)
+            sweep_result = sweep.run()
+            by_key = {row["key"]: row for row in sweep_result.rows}
+            rows = [by_key[c.scenario.key] for c in frontier]
+        return DesignSearchResult(
+            space=self.space,
+            targets=self.targets,
+            candidates=candidates,
+            frontier=frontier,
+            rows=rows,
+            priced_pairs=len(request),
+            sweep=sweep_result)

@@ -15,10 +15,11 @@ import re
 
 from .diagnostics import Diagnostic
 
-#: default locations of the three coherence surfaces, relative to root.
+#: default locations of the coherence surfaces, relative to root.
 SCENARIO_PATH = "src/repro/sweep/scenario.py"
 CLI_PATH = "src/repro/cli.py"
 DOCS_PATH = "docs/SWEEP.md"
+DESIGN_DOCS_PATH = "docs/DESIGN.md"
 
 #: first backticked token of a docs axis-table row: ``| `--flag` | ...``
 _DOCS_ROW_RE = re.compile(r"^\|\s*`(--[a-z0-9-]+)`")
@@ -132,7 +133,9 @@ def _docs_flags(docs_text: str) -> dict:
 def check_axis_coherence(scenario_src: str, cli_src: str, docs_text: str,
                          scenario_path: str = SCENARIO_PATH,
                          cli_path: str = CLI_PATH,
-                         docs_path: str = DOCS_PATH) -> list:
+                         docs_path: str = DOCS_PATH,
+                         design_docs_text: str | None = None,
+                         design_docs_path: str = DESIGN_DOCS_PATH) -> list:
     """Cross-check every Scenario axis through all five surfaces.
 
     Returns one R3 diagnostic per missing or stale link: Scenario field
@@ -141,6 +144,12 @@ def check_axis_coherence(scenario_src: str, cli_src: str, docs_text: str,
     checked in both directions and over the *whole* sweep-parser
     surface: a table row naming a retired flag is stale, and a parser
     flag (axis or execution) with no table row is undocumented.
+
+    When ``design_docs_text`` is given, the same full coherence contract
+    applies to the ``design`` subcommand's surfaces: the ``_run_design``
+    axis-texts dict must cover every axis, each dest must resolve to a
+    ``_design_parser`` flag, and the docs/DESIGN.md flag table is
+    checked in both directions.
     """
     diags: list = []
 
@@ -248,4 +257,52 @@ def check_axis_coherence(scenario_src: str, cli_src: str, docs_text: str,
             diag(cli_path, line,
                  f"_sweep_parser defines {flag} but no {docs_path} "
                  f"table row documents it")
+
+    # The design search declares the same axis surface; hold it to the
+    # same contract against its own parser and docs/DESIGN.md table.
+    if design_docs_text is not None:
+        design_axes, design_line = _axis_text_dicts(
+            cli_tree, "_run_design", "axis_texts")
+        design_flags = _parser_flags(cli_tree, "_design_parser")
+        if not design_axes:
+            diag(cli_path, design_line,
+                 "_run_design axis_texts dict not found")
+        for name in specs:
+            if design_axes and name not in design_axes:
+                diag(cli_path, design_line,
+                     f"axis {name!r} missing from the _run_design "
+                     f"axis_texts dict (unreachable from the design CLI)")
+        for name, (dest, line) in design_axes.items():
+            if name not in specs:
+                diag(cli_path, line,
+                     f"design axis_texts key {name!r} has no AXIS_SPECS "
+                     f"entry")
+            if dest not in design_flags:
+                diag(cli_path, line,
+                     f"design axis {name!r} maps to args.{dest} but "
+                     f"_design_parser defines no "
+                     f"--{dest.replace('_', '-')} flag")
+        design_docs = _docs_flags(design_docs_text)
+        if not design_docs:
+            diag(design_docs_path, 1,
+                 "no axis table rows found (| `--flag` | ...)")
+        for name, (dest, _) in design_axes.items():
+            flag = design_flags.get(dest, (None, None))[0]
+            if design_docs and flag is not None \
+                    and flag not in design_docs:
+                diag(design_docs_path, min(design_docs.values()),
+                     f"design axis {name!r} ({flag}) missing from the "
+                     f"docs flag table")
+        known_design = {flag for flag, _ in design_flags.values()}
+        for flag, line in design_docs.items():
+            if flag not in known_design:
+                diag(design_docs_path, line,
+                     f"docs flag table lists {flag} but _design_parser "
+                     f"defines no such flag")
+        for dest in sorted(design_flags):
+            flag, line = design_flags[dest]
+            if design_docs and flag not in design_docs:
+                diag(cli_path, line,
+                     f"_design_parser defines {flag} but no "
+                     f"{design_docs_path} table row documents it")
     return diags

@@ -17,7 +17,7 @@ from .diagnostics import Diagnostic
 #: packages (under ``src/repro/``) whose code feeds row payloads, key
 #: fragments, or JSON artifacts — the R1 determinism scope.
 R1_PACKAGES = frozenset(
-    {"analysis", "core", "cost", "experiments", "sweep"})
+    {"analysis", "core", "cost", "design", "experiments", "sweep"})
 
 #: the only modules allowed to touch :mod:`hashlib` directly (R2): the
 #: plan-store content hash and the cache that fronts it.

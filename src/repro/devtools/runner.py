@@ -16,7 +16,8 @@ import json
 import pathlib
 import sys
 
-from .axes import CLI_PATH, DOCS_PATH, SCENARIO_PATH, check_axis_coherence
+from .axes import CLI_PATH, DESIGN_DOCS_PATH, DOCS_PATH, SCENARIO_PATH, \
+    check_axis_coherence
 from .diagnostics import Diagnostic, scan_pragmas
 from .rules import (
     R1_PACKAGES,
@@ -40,9 +41,10 @@ RULES = {
           f"{' and '.join(R2_ALLOWED_SUFFIXES)} "
           "(plan_key_hash / PlanStore.key_hash own key construction)",
     "R3": "axis coherence: every Scenario axis threads through "
-          "AXIS_SPECS, key/to_dict, the CLI sweep/report flags, and the "
-          "docs/SWEEP.md axis table; every sweep-parser flag has a "
-          "docs/SWEEP.md table row and no row names a retired flag",
+          "AXIS_SPECS, key/to_dict, the CLI sweep/report/design flags, "
+          "and the docs/SWEEP.md + docs/DESIGN.md flag tables; every "
+          "sweep- and design-parser flag has a docs table row and no "
+          "row names a retired flag",
     "R4": "gated columns: sweep row keys outside the frozen fixtures "
           "are written behind only-when-set guards",
     "R5": "units naming: numeric fields/columns carry unit suffixes "
@@ -136,13 +138,14 @@ def lint_file(path: pathlib.Path, root: pathlib.Path,
 def lint_repo_axes(root: pathlib.Path) -> list:
     """Run the repo-level R3 coherence check against the real tree."""
     surfaces = []
-    for rel in (SCENARIO_PATH, CLI_PATH, DOCS_PATH):
+    for rel in (SCENARIO_PATH, CLI_PATH, DOCS_PATH, DESIGN_DOCS_PATH):
         target = root / rel
         if not target.is_file():
             return [Diagnostic("R3", rel, 1, 0,
                                "coherence surface missing from the repo")]
         surfaces.append(target.read_text())
-    return check_axis_coherence(*surfaces)
+    return check_axis_coherence(*surfaces[:3],
+                                design_docs_text=surfaces[3])
 
 
 def run_lint(paths: list | None = None,

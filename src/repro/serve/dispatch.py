@@ -26,11 +26,17 @@ Design points:
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, as_completed
 from typing import Sequence
 
 from ..core.plancache import CacheStats
-from ..sweep.resilience import Clock, RetryPolicy, SweepFailure, error_class
+from ..sweep.resilience import (
+    Clock,
+    RetryPolicy,
+    SweepFailure,
+    SweepQuarantineError,
+    error_class,
+)
 from ..sweep.runner import ScenarioSweep, SweepItem, SweepOutcome, SweepResult
 from ..sweep.scenario import Scenario
 from .client import RemoteStoreClient
@@ -97,8 +103,15 @@ def dispatch_sweep(scenarios: Sequence[Scenario],
     Returns the same :class:`~repro.sweep.runner.SweepResult` a local
     run produces, with ``rows_json()`` byte-identical to serial
     execution of the same grid (``run_scenario`` is pure; the merge is
-    order-independent).  ``workers`` in the result reports the remote
-    worker count.
+    order-independent).  ``workers`` in the result reports the number of
+    shards actually dispatched — a grid smaller than the worker list
+    contacts only the first ``len(grid)`` workers.
+
+    In strict mode the first shard that comes back with failures decides
+    the run: outstanding shard futures are cancelled and the quarantine
+    raises immediately, so one dead worker never holds the call for the
+    full ``timeout_s`` of every other shard.  (Shards already in flight
+    finish in the background; their results are discarded.)
     """
     if not worker_urls:
         raise ValueError("dispatch needs at least one worker URL")
@@ -107,13 +120,28 @@ def dispatch_sweep(scenarios: Sequence[Scenario],
                           clock=clock)
     shards = shard_round_robin(list(scenarios), len(urls))
     items: list[SweepItem] = []
-    with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+    pool = ThreadPoolExecutor(max_workers=len(shards))
+    try:
         futures = [pool.submit(_post_shard, urls[i], shard, retry, clock,
                                timeout_s)
                    for i, shard in enumerate(shards)]
-        for future in futures:
-            items.extend(future.result())
+        for future in as_completed(futures):
+            shard_items = future.result()
+            if strict:
+                failures = [item for item in shard_items
+                            if isinstance(item, SweepFailure)]
+                if failures:
+                    # merge() would insist on full grid coverage before
+                    # raising, so the early exit raises the quarantine
+                    # itself — same exception, without waiting on the
+                    # shards we are abandoning.
+                    raise SweepQuarantineError(failures)
+            items.extend(shard_items)
+    finally:
+        # Never wait on abandoned shards: a worker blocked until
+        # timeout_s keeps its thread, not this call.
+        pool.shutdown(wait=False, cancel_futures=True)
     result = sweep.merge(items)
-    result.workers = len(urls)
-    result.parallel = len(urls) > 1
+    result.workers = len(shards)
+    result.parallel = len(shards) > 1
     return result

@@ -153,8 +153,9 @@ class Scenario:
     #: grids); None keeps the seed open mesh.
     topology: str | None = None
     #: per-quadrant hardware overrides as a compact token
-    #: ("trunk:ws@1.2+temporal:@1.5" — see repro.arch.quadrants); None
-    #: keeps the package homogeneous (seed behavior).
+    #: ("trunk:ws@1.2+temporal:@1.5", partial Het(k) counts like
+    #: "trunk:ws#4" — see repro.arch.quadrants); None keeps the package
+    #: homogeneous (seed behavior).
     hetero: str | None = None
 
     def __post_init__(self) -> None:
@@ -513,7 +514,7 @@ AXIS_SPECS: dict[str, AxisSpec] = {
                          "NoP topology: mesh, torus, or KIND-WxH grid"),
     "hetero": AxisSpec("heteros", _parse_hetero_token, True,
                        "per-quadrant hardware overrides, e.g. "
-                       "trunk:ws@1.2+temporal:@1.5"),
+                       "trunk:ws@1.2+temporal:@1.5 or trunk:ws#4"),
 }
 
 

@@ -218,6 +218,48 @@ class TestSweepCli:
         assert second["rows"] == first["rows"]
 
 
+class TestDesignCli:
+    def test_design_table_output(self, capsys):
+        assert main(["design", "--dataflows", "os,ws",
+                     "--target-pipe-ms", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "searched 2 candidate(s)" in out
+        assert "plan cache:" in out
+
+    def test_design_json_output(self, capsys):
+        assert main(["design", "--dataflows", "os,ws", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["axes"]["dataflow"] == ["os", "ws"]
+        assert payload["search"]["candidates"] == 2
+        assert payload["best"] in {e["key"] for e in payload["frontier"]}
+
+    def test_design_flags_before_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "frontier.json"
+        assert main(["--json", "--output", str(out), "design",
+                     "--frequencies-ghz", "1.0,2.0"]) == 0
+        stdout = capsys.readouterr().out
+        assert out.read_text() == stdout.rstrip("\n") + "\n"
+
+    def test_design_output_document_deterministic(self, tmp_path, capsys):
+        args = ["design", "--dataflows", "os,ws",
+                "--axis", "hetero=none,trunk:ws#2", "--json"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_design_rejects_bad_axis(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["design", "--axis", "topology=ring"])
+        assert "topology" in capsys.readouterr().err
+
+    def test_design_rejects_two_stores(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["design", "--store", "x",
+                  "--store-url", "http://127.0.0.1:1"])
+        assert "two different plan stores" in capsys.readouterr().err
+
+
 class TestResilienceCli:
     def test_injected_fault_retries_transparently(self, capsys):
         assert main(["sweep", "--tolerances", "1.0,1.1",

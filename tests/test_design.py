@@ -1,0 +1,263 @@
+"""Tests for the repro.design joint package-design search.
+
+Locks the search's load-bearing properties: Pareto dominance math
+(stable order, ties survive), canonical space declaration, the
+optimistic-bound contract of the roofline proxy (pruning never discards
+a design whose materialized metrics meet the target), and the frontier
+report's byte-identity across store temperature and worker counts.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import best_ranked
+from repro.design import (
+    DesignSearch,
+    DesignSpace,
+    DesignTargets,
+    axis_token,
+    dominated_indices,
+    dominates,
+    pareto_indices,
+)
+from repro.sweep import ScenarioSweep, scenario_grid
+
+
+def _cold():
+    from repro.core import clear_plan_cache
+    from repro.cost import clear_cache
+    from repro.sweep import clear_trunk_memo
+    clear_cache()
+    clear_plan_cache()
+    clear_trunk_memo()
+
+
+# ----------------------------------------------------------------------
+# Pareto dominance
+# ----------------------------------------------------------------------
+
+class TestPareto:
+    def test_dominates_requires_strict_improvement(self):
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+        assert dominates((0.5, 2.0), (1.0, 2.0))
+        assert not dominates((1.0, 2.0), (1.0, 2.0))  # exact tie
+        assert not dominates((1.0, 3.0), (2.0, 2.0))  # trade-off
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="differ in length"):
+            dominates((1.0,), (1.0, 2.0))
+
+    def test_frontier_preserves_input_order(self):
+        points = [(3.0, 1.0), (2.0, 2.0), (1.0, 3.0), (4.0, 4.0)]
+        assert pareto_indices(points) == [0, 1, 2]
+        assert dominated_indices(points) == [3]
+
+    def test_duplicates_all_survive(self):
+        # A tie is not a strict improvement, so exact duplicates never
+        # dominate each other — both reach the frontier, in order.
+        points = [(1.0, 1.0), (1.0, 1.0), (2.0, 2.0)]
+        assert pareto_indices(points) == [0, 1]
+
+    def test_single_point_is_frontier(self):
+        assert pareto_indices([(5.0, 5.0)]) == [0]
+        assert pareto_indices([]) == []
+
+
+# ----------------------------------------------------------------------
+# best_ranked (the rank-then-materialize primitive)
+# ----------------------------------------------------------------------
+
+class TestBestRanked:
+    def test_first_seen_min_wins(self):
+        rank, payload = best_ranked([((2.0,), "b"), ((1.0,), "a"),
+                                     ((1.0,), "late-tie")])
+        assert rank == (1.0,)
+        assert payload == "a"
+
+    def test_none_ranks_skipped(self):
+        rank, payload = best_ranked([(None, "x"), ((3.0,), "y")])
+        assert payload == "y"
+
+    def test_empty_yields_none(self):
+        assert best_ranked([]) == (None, None)
+        assert best_ranked([(None, "x")]) == (None, None)
+
+
+# ----------------------------------------------------------------------
+# DesignSpace declarations
+# ----------------------------------------------------------------------
+
+class TestDesignSpace:
+    def test_axes_reorder_canonically(self):
+        # Construction order must not matter: two declarations of the
+        # same space enumerate (and report) identically.
+        a = DesignSpace(axes=(("dataflow", ("os", "ws")),
+                              ("tolerance", (1.0, 1.1))))
+        b = DesignSpace(axes=(("tolerance", (1.0, 1.1)),
+                              ("dataflow", ("os", "ws"))))
+        assert a == b
+        assert [name for name, _ in a.axes] == ["tolerance", "dataflow"]
+        assert a.size == 4
+        assert [s.key for s in a.candidates()] \
+            == [s.key for s in b.candidates()]
+
+    def test_candidates_match_scenario_grid(self):
+        space = DesignSpace(axes=(("npus", (1, 2)),))
+        assert [s.key for s in space.candidates()] \
+            == [s.key for s in scenario_grid(npus=[1, 2])]
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown design axis"):
+            DesignSpace(axes=(("chiplets", (1,)),))
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(ValueError, match="duplicate design axis"):
+            DesignSpace(axes=(("npus", (1,)), ("npus", (2,))))
+
+    def test_empty_declarations_rejected(self):
+        with pytest.raises(ValueError, match="at least one axis"):
+            DesignSpace(axes=())
+        with pytest.raises(ValueError, match="has no values"):
+            DesignSpace(axes=(("npus", ()),))
+
+    def test_from_axis_texts_uses_sweep_grammar(self):
+        space = DesignSpace.from_axis_texts({
+            "native_tile": "16x16,8x8",
+            "hetero": "none,trunk:ws#4",
+        })
+        by_name = dict(space.axes)
+        assert by_name["native_tile"] == ((16, 16), (8, 8))
+        assert by_name["hetero"] == (None, "trunk:ws#4")
+        assert space.to_dict() == {
+            "native_tile": ["16x16", "8x8"],
+            "hetero": ["none", "trunk:ws#4"],
+        }
+
+    def test_axis_token_forms(self):
+        assert axis_token("dram_gbps", None) == "none"
+        assert axis_token("frequency_ghz", 1.5) == "1.5"
+        assert axis_token("native_tile", (16, 16)) == "16x16"
+        assert axis_token("npus", 2) == "2"
+
+
+# ----------------------------------------------------------------------
+# Targets
+# ----------------------------------------------------------------------
+
+class TestDesignTargets:
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError, match="pipe_ms"):
+            DesignTargets(pipe_ms=0.0)
+        with pytest.raises(ValueError, match="energy_j"):
+            DesignTargets(energy_j=-1.0)
+
+    def test_admits(self):
+        targets = DesignTargets(pipe_ms=50.0, energy_j=2.0)
+        assert targets.admits(50.0, 2.0)
+        assert not targets.admits(50.1, 2.0)
+        assert not targets.admits(50.0, 2.1)
+        assert DesignTargets().admits(1e9, 1e9)
+
+
+# ----------------------------------------------------------------------
+# The search
+# ----------------------------------------------------------------------
+
+class TestDesignSearch:
+    @pytest.fixture()
+    def small_space(self):
+        return DesignSpace.from_axis_texts({
+            "dataflow": "os,ws",
+            "frequency_ghz": "1.0,2.0",
+        })
+
+    def test_stats_partition_the_space(self, small_space):
+        _cold()
+        result = DesignSearch(small_space,
+                              DesignTargets(pipe_ms=100.0)).run()
+        stats = result.stats()
+        assert stats["candidates"] == 4
+        assert stats["pruned"] + stats["dominated"] + stats["frontier"] \
+            == stats["candidates"]
+        assert stats["materialized"] == stats["frontier"] == \
+            len(result.rows) == len(result.frontier)
+        assert stats["priced_pairs"] > 0
+
+    def test_proxy_is_an_optimistic_bound(self, small_space):
+        # The contract target pruning rides on: the proxy never exceeds
+        # the materialized metric, so pruning on it never discards a
+        # design whose real metrics would have met the target.
+        _cold()
+        result = DesignSearch(small_space).run()
+        by_key = {row["key"]: row
+                  for row in ScenarioSweep(small_space.candidates())
+                  .run().rows}
+        for candidate in result.candidates:
+            row = by_key[candidate.scenario.key]
+            assert candidate.proxy_pipe_ms <= row["pipe_ms"] + 1e-9
+            assert candidate.proxy_energy_j <= row["energy_j"] + 1e-9
+
+    def test_only_frontier_is_materialized(self, small_space):
+        _cold()
+        result = DesignSearch(small_space,
+                              DesignTargets(pipe_ms=100.0)).run()
+        assert 0 < len(result.rows) < len(result.candidates)
+        materialized = {row["key"] for row in result.rows}
+        assert materialized == {c.scenario.key for c in result.frontier}
+        for candidate in result.frontier:
+            assert not candidate.pruned
+
+    def test_everything_pruned_yields_empty_frontier(self, small_space):
+        _cold()
+        result = DesignSearch(small_space,
+                              DesignTargets(pipe_ms=0.001)).run()
+        assert result.frontier == [] and result.rows == []
+        assert result.sweep is None and result.best is None
+        stats = result.stats()
+        assert stats["pruned"] == stats["candidates"]
+        assert stats["materialized_fraction"] == 0.0
+        report = result.report()
+        assert report["frontier"] == [] and report["best"] is None
+
+    def test_best_is_lowest_materialized_edp(self, small_space):
+        _cold()
+        result = DesignSearch(small_space).run()
+        assert result.best["edp_j_ms"] == \
+            min(row["edp_j_ms"] for row in result.rows)
+        assert result.report()["best"] == result.best["key"]
+
+    def test_report_byte_identical_cold_vs_warm_store(self, tmp_path):
+        space = DesignSpace.from_axis_texts({
+            "dataflow": "os,ws",
+            "hetero": "none,trunk:ws#4",
+        })
+        store = tmp_path / "planstore"
+        documents = []
+        for _ in range(2):
+            _cold()
+            result = DesignSearch(space, DesignTargets(pipe_ms=200.0),
+                                  store_path=str(store)).run()
+            documents.append(json.dumps(result.report(), indent=2,
+                                        sort_keys=True))
+        assert documents[0] == documents[1]
+        # The warm run really was warm — every plan came from the store.
+        assert result.sweep.summary()["plan_cache"]["misses"] == 0
+
+    def test_report_byte_identical_serial_vs_parallel(self, small_space):
+        _cold()
+        serial = DesignSearch(small_space).run().report()
+        _cold()
+        parallel = DesignSearch(small_space, workers=2).run().report()
+        assert json.dumps(serial, sort_keys=True) \
+            == json.dumps(parallel, sort_keys=True)
+
+    def test_hetero_rows_gate_their_columns(self):
+        _cold()
+        space = DesignSpace.from_axis_texts({"hetero": "none,trunk:ws#2"})
+        report = DesignSearch(space).run().report()
+        for entry in report["frontier"]:
+            has_hetero = entry["scenario"]["hetero"] is not None
+            assert ("package_composition" in entry) == has_hetero

@@ -80,6 +80,26 @@ class TestQuadrantOverrideParsing:
         with pytest.raises(ValueError, match="empty quadrant override"):
             QuadrantOverride()
 
+    def test_partial_count_token_round_trips(self):
+        spec = QuadrantOverrides.parse("trunk:ws#4")
+        assert spec.token == "trunk:ws#4"
+        ov = spec.get("trunk")
+        assert ov == QuadrantOverride(dataflow="ws", count=4)
+        full = QuadrantOverrides.parse("trunk:ws@1.2/8x8#2")
+        assert full.token == "trunk:ws@1.2/8x8#2"
+        assert full.get("trunk").count == 2
+
+    def test_count_tokens_rejected(self):
+        with pytest.raises(ValueError, match="bad count"):
+            QuadrantOverrides.parse("trunk:ws#four")
+        with pytest.raises(ValueError, match="bad count"):
+            QuadrantOverrides.parse("trunk:ws#")
+        with pytest.raises(ValueError, match="positive integer"):
+            QuadrantOverrides.parse("trunk:ws#0")
+        # a count alone overrides no hardware: parse error, not a no-op
+        with pytest.raises(ValueError, match="#COUNT alone"):
+            QuadrantOverrides.parse("trunk:#4")
+
 
 class TestQuadrantOverrideApply:
     def test_apply_layers_on_base_accel(self):
@@ -129,6 +149,23 @@ class TestPackageMaterialization:
             "fe:os@2|spatial:os@2|temporal:os@1.5|trunk:ws@1.2")
         assert package_composition(simba_package()) == (
             "fe:os@2|spatial:os@2|temporal:os@2|trunk:os@2")
+
+    def test_partial_count_rewrites_corner_cells_only(self):
+        pkg = QuadrantOverrides.parse("trunk:ws#2").apply(simba_package())
+        ws = sorted(c.coords for c in pkg.chiplets if c.dataflow == "ws")
+        # the Het(2) corner policy repro.core.hetero has always used
+        assert ws == [(5, 4), (5, 5)]
+        assert sum(c.dataflow == "os" for c in pkg.quadrant(3)) == 7
+        # a partially-rewritten quadrant reports as mixed
+        assert "trunk:mixed" in package_composition(pkg)
+
+    def test_count_exceeding_quadrant_capacity_rejected(self):
+        with pytest.raises(ValueError, match="9 chiplet"):
+            QuadrantOverrides.parse("trunk:ws#10").apply(simba_package())
+        # whole-quadrant count is fine and equals the uncounted override
+        a = QuadrantOverrides.parse("trunk:ws#9").apply(simba_package())
+        b = QuadrantOverrides.parse("trunk:ws").apply(simba_package())
+        assert [c.accel for c in a.chiplets] == [c.accel for c in b.chiplets]
 
     def test_quadrant_names_cover_the_standard_tiling(self):
         assert quadrant_ids("fe", simba_package()) == [0]
@@ -196,3 +233,14 @@ class TestHeteroFlowComposition:
         ws = sorted(c.coords for c in het2.package.chiplets
                     if c.dataflow == "ws")
         assert ws == [(5, 4), (5, 5)]
+
+    def test_count_token_matches_legacy_het_k_layout(self):
+        # The #COUNT axis token embeds exactly the hetero.py Het(k)
+        # package, so the sweep/design axis speaks the paper's Table I
+        # partial rows too.
+        from repro.core import schedule_heterogeneous
+        from repro.sweep import Scenario
+        legacy = schedule_heterogeneous(ws_chiplets=2)
+        generic = Scenario(hetero="trunk:ws#2").package()
+        assert [c.dataflow for c in legacy.package.chiplets] == \
+            [c.dataflow for c in generic.chiplets]

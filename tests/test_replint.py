@@ -212,6 +212,57 @@ class TestAxisCoherence:
         assert any(d.rule == "R3" and "--stream" in d.message
                    and "documents" in d.message for d in diags)
 
+    @pytest.fixture()
+    def design_docs(self):
+        return (ROOT / "docs/DESIGN.md").read_text()
+
+    def test_real_tree_design_surface_coherent(self, surfaces,
+                                               design_docs):
+        assert check_axis_coherence(
+            *surfaces, design_docs_text=design_docs) == []
+
+    def test_design_checks_skipped_without_docs(self, surfaces):
+        # The 3-surface call (the pre-design contract) stays valid:
+        # design coherence only runs when its docs surface is supplied.
+        scenario_src, cli_src, docs = surfaces
+        doctored = cli_src.replace("_run_design", "_run_redesign")
+        assert check_axis_coherence(scenario_src, doctored, docs) == []
+
+    def test_fires_when_design_axis_dropped(self, surfaces, design_docs):
+        scenario_src, cli_src, docs = surfaces
+        # Strip hetero only from _run_design's axis-texts dict: anchor
+        # the search past the function's def so _grid_kwargs and the
+        # scaling report keep theirs.
+        needle = '        "hetero": args.hetero,\n'
+        start = cli_src.index("def _run_design")
+        pos = cli_src.index(needle, start)
+        doctored = cli_src[:pos] + cli_src[pos + len(needle):]
+        diags = check_axis_coherence(scenario_src, doctored, docs,
+                                     design_docs_text=design_docs)
+        assert any(d.rule == "R3" and "'hetero'" in d.message
+                   and "design CLI" in d.message for d in diags)
+
+    def test_fires_when_design_docs_row_removed(self, surfaces,
+                                                design_docs):
+        scenario_src, cli_src, docs = surfaces
+        pruned = "\n".join(line for line in design_docs.splitlines()
+                           if not line.startswith("| `--target-pipe-ms`"))
+        diags = check_axis_coherence(scenario_src, cli_src, docs,
+                                     design_docs_text=pruned)
+        assert any(d.rule == "R3" and "--target-pipe-ms" in d.message
+                   and "DESIGN.md" in d.message for d in diags)
+
+    def test_fires_on_stale_design_docs_row(self, surfaces, design_docs):
+        scenario_src, cli_src, docs = surfaces
+        stale = design_docs.replace(
+            "| `--target-pipe-ms` |",
+            "| `--retired-knob` | gone | off | stale |\n"
+            "| `--target-pipe-ms` |")
+        diags = check_axis_coherence(scenario_src, cli_src, docs,
+                                     design_docs_text=stale)
+        assert any(d.rule == "R3" and "--retired-knob" in d.message
+                   for d in diags)
+
 
 # ----------------------------------------------------------------------
 # CLI entry point

@@ -445,3 +445,87 @@ class TestDispatch:
     def test_requires_a_worker(self, grid):
         with pytest.raises(ValueError):
             dispatch_sweep(grid, [])
+
+    def test_small_grid_reports_actual_shard_count(self, tmp_path):
+        # 2 scenarios across 4 workers dispatch only 2 shards; the extra
+        # URLs are never contacted (they would fail the strict run) and
+        # must not be reported as workers that ran.
+        grid = scenario_grid(tolerances=(1.0, 1.05))
+        with MemoServer(tmp_path / "a") as live:
+            _cold()
+            urls = [live.url, live.url,
+                    "http://127.0.0.1:1", "http://127.0.0.1:1"]
+            result = dispatch_sweep(grid, urls, retry=FAST_RETRY,
+                                    clock=NullClock(), timeout_s=5.0)
+        assert len(result.rows) == 2
+        assert result.workers == 2
+        assert result.parallel
+
+    def test_single_scenario_grid_is_not_parallel(self, tmp_path):
+        grid = scenario_grid(tolerances=(1.0,))
+        with MemoServer(tmp_path / "a") as live:
+            _cold()
+            result = dispatch_sweep(
+                grid, [live.url, "http://127.0.0.1:1"],
+                retry=FAST_RETRY, clock=NullClock(), timeout_s=5.0)
+        assert result.workers == 1
+        assert not result.parallel
+
+    def test_strict_failure_cancels_outstanding_shards(self):
+        # One dead worker plus one hung worker: the dead shard's
+        # quarantine must raise promptly instead of waiting out the hung
+        # shard's full timeout_s.
+        import time
+        from repro.sweep.resilience import SweepQuarantineError
+        grid = scenario_grid(tolerances=(1.0, 1.05))
+        slow = _HungWorker()
+        try:
+            start = time.monotonic()
+            with pytest.raises(SweepQuarantineError) as excinfo:
+                dispatch_sweep(grid, [slow.url, "http://127.0.0.1:1"],
+                               retry=FAST_RETRY, clock=NullClock(),
+                               timeout_s=30.0)
+            elapsed = time.monotonic() - start
+        finally:
+            slow.close()  # unblock the abandoned shard's thread
+        assert elapsed < 10.0  # far below the hung shard's timeout_s
+        # the quarantine names the dead worker's shard (grid[1::2])
+        assert [f.key for f in excinfo.value.failures] == [grid[1].key]
+
+
+class _HungWorker:
+    """A TCP endpoint that accepts /sweep connections and never answers.
+
+    Stands in for a worker that wedges mid-request: connections succeed,
+    so the client blocks until its full ``timeout_s`` — exactly the
+    shard the strict early-cancel must not wait for.  ``close`` resets
+    every accepted connection so the abandoned dispatch thread (and the
+    interpreter's executor join at exit) unblocks.
+    """
+
+    def __init__(self):
+        self._listener = socket.socket()
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        port = self._listener.getsockname()[1]
+        self.url = f"http://127.0.0.1:{port}"
+        self._conns = []
+        self._thread = threading.Thread(target=self._accept, daemon=True)
+        self._thread.start()
+
+    def _accept(self):
+        try:
+            while True:
+                conn, _ = self._listener.accept()
+                self._conns.append(conn)
+        except OSError:
+            pass
+
+    def close(self):
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._listener.close()
+        self._thread.join(timeout=5.0)

@@ -1,0 +1,93 @@
+"""Scenario wire round-trips: ``from_dict(to_dict(s))`` across every axis.
+
+The serving layer's ``/sweep`` route ships scenarios as JSON and
+rebuilds them with ``Scenario.from_dict``; these tests lock the
+round-trip contract for *every* axis (including canonicalizing token
+axes like ``hetero`` and explicit ``KIND-WxH`` topologies): the rebuilt
+scenario has the same plan key, serializes to the same payload, and
+prices to the same row — and unknown keys fail fast instead of silently
+dropping an axis a newer client swept.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sweep import Scenario, run_scenario
+
+#: one scenario per axis (set away from its default), plus combinations
+#: that exercise canonicalization on the wire.
+WIRE_CASES = {
+    "tolerance": Scenario(tolerance=1.2),
+    "nop_gbps": Scenario(nop_gbps=25.0),
+    "npus": Scenario(npus=2),
+    "workload": Scenario(workload="hires"),
+    "het_ws_budget": Scenario(het_ws_budget=2),
+    "dataflow": Scenario(dataflow="ws"),
+    "frequency_ghz": Scenario(frequency_ghz=1.5),
+    "native_tile": Scenario(native_tile=(8, 8)),
+    "dram_gbps": Scenario(dram_gbps=6.0),
+    "topology": Scenario(topology="torus"),
+    "topology_explicit_grid": Scenario(topology="torus-8x8"),
+    "hetero": Scenario(hetero="trunk:ws@1.2+temporal:@1.5"),
+    "hetero_partial_count": Scenario(hetero="trunk:ws#4"),
+    "kitchen_sink": Scenario(tolerance=1.1, nop_gbps=50.0, npus=2,
+                             workload="lores", het_ws_budget=2,
+                             dataflow="ws", frequency_ghz=1.2,
+                             native_tile=(8, 8), dram_gbps=6.0,
+                             topology="mesh", hetero="fe:/8x8"),
+}
+
+
+def wire_trip(scenario: Scenario) -> Scenario:
+    """to_dict -> JSON bytes -> from_dict, as the /sweep route does."""
+    return Scenario.from_dict(json.loads(json.dumps(scenario.to_dict())))
+
+
+class TestWireRoundTrip:
+    @pytest.mark.parametrize("case", sorted(WIRE_CASES),
+                             ids=sorted(WIRE_CASES))
+    def test_round_trip_reproduces_key_and_payload(self, case):
+        original = WIRE_CASES[case]
+        rebuilt = wire_trip(original)
+        assert rebuilt == original
+        assert rebuilt.key == original.key
+        assert rebuilt.to_dict() == original.to_dict()
+        assert rebuilt.plan_context == original.plan_context
+
+    def test_native_tile_survives_json_list_form(self):
+        # JSON has no tuples: the wire payload carries [8, 8] and
+        # from_dict must normalize it back before keying.
+        payload = Scenario(native_tile=(8, 8)).to_dict()
+        assert payload["native_tile"] == [8, 8]
+        assert wire_trip(Scenario(native_tile=(8, 8))).native_tile == (8, 8)
+
+    def test_uncanonical_tokens_canonicalize_identically(self):
+        # Canonicalization happens in __post_init__ on both sides, so a
+        # client sending a raw (uppercase, reordered) token keys the
+        # same scenario the canonical form does.
+        raw = Scenario.from_dict({"hetero": "temporal:@1.50+trunk:WS@1.20"})
+        assert raw.key == Scenario(hetero="trunk:ws@1.2+temporal:@1.5").key
+
+    def test_round_trip_prices_identical_row(self):
+        original = Scenario(dataflow="ws", hetero="trunk:ws#2")
+        assert json.dumps(run_scenario(wire_trip(original)),
+                          sort_keys=True) \
+            == json.dumps(run_scenario(original), sort_keys=True)
+
+    def test_unknown_axes_rejected_strictly(self):
+        payload = Scenario().to_dict()
+        payload["voltage_v"] = 0.9
+        with pytest.raises(ValueError, match="unknown scenario axes"):
+            Scenario.from_dict(payload)
+        # ... naming every unknown key and the axes this side speaks.
+        payload["cooling"] = "liquid"
+        with pytest.raises(ValueError,
+                           match=r"\['cooling', 'voltage_v'\]"):
+            Scenario.from_dict(payload)
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(TypeError, match="must be an object"):
+            Scenario.from_dict([("tolerance", 1.05)])
